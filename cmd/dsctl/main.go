@@ -1,0 +1,172 @@
+// Command dsctl is a client tool for a running staging group: it puts
+// and gets synthetic field data, lists staged versions, and dumps
+// server accounting — handy for poking at stagingd deployments.
+//
+// Usage:
+//
+//	dsctl -servers host:7070,host:7071 -domain 64x64x32 [-elem 8] [-bits 2] <command>
+//
+// Commands:
+//
+//	put  <name> <version>   stage the deterministic synthetic field
+//	get  <name> <version>   read it back and verify every byte
+//	versions <name>         list staged versions
+//	check                   send a checkpoint event (workflow_check)
+//	trace [n]               dump the servers' recent protocol trace
+//	restart                 switch to replay mode (workflow_restart)
+//	stats                   print aggregated staging statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"gospaces"
+)
+
+func main() {
+	servers := flag.String("servers", "127.0.0.1:7070", "comma-separated staging server addresses, in id order")
+	domainFlag := flag.String("domain", "64x64x32", "global domain extents, e.g. 512x512x256")
+	elem := flag.Int("elem", 8, "element size in bytes")
+	bits := flag.Int("bits", 2, "DHT refinement bits")
+	app := flag.String("app", "dsctl/0", "client identity (component/rank)")
+	flag.Parse()
+
+	if err := run(*servers, *domainFlag, *elem, *bits, *app, flag.Args()); err != nil {
+		fmt.Fprintf(os.Stderr, "dsctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(servers, domainStr string, elem, bits int, app string, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("missing command (put/get/versions/check/restart/stats)")
+	}
+	global, err := parseDomain(domainStr)
+	if err != nil {
+		return err
+	}
+	addrs := strings.Split(servers, ",")
+	pool, err := gospaces.Connect(addrs, gospaces.StagingConfig{
+		Global:   global,
+		NServers: len(addrs),
+		Bits:     bits,
+		ElemSize: elem,
+	})
+	if err != nil {
+		return err
+	}
+	client, err := pool.NewClient(app)
+	if err != nil {
+		return err
+	}
+	defer client.Close()
+
+	switch args[0] {
+	case "put":
+		name, version, err := nameVersion(args)
+		if err != nil {
+			return err
+		}
+		field := gospaces.NewField(name, global, elem)
+		if err := client.PutWithLog(name, version, global, field.Fill(version, global)); err != nil {
+			return err
+		}
+		fmt.Printf("staged %s v%d (%d bytes)\n", name, version, global.Volume()*int64(elem))
+	case "get":
+		name, version, err := nameVersion(args)
+		if err != nil {
+			return err
+		}
+		data, v, err := client.GetWithLog(name, version, global)
+		if err != nil {
+			return err
+		}
+		field := gospaces.NewField(name, global, elem)
+		if idx := field.Verify(v, global, data); idx >= 0 {
+			return fmt.Errorf("%s v%d corrupt at byte %d", name, v, idx)
+		}
+		fmt.Printf("read %s v%d (%d bytes), verified\n", name, v, len(data))
+	case "versions":
+		if len(args) < 2 {
+			return fmt.Errorf("versions needs a name")
+		}
+		vs, err := client.Versions(args[1])
+		if err != nil {
+			return err
+		}
+		fmt.Println(vs)
+	case "check":
+		freed, err := client.WorkflowCheck()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("checkpoint event sent; GC freed %d bytes\n", freed)
+	case "restart":
+		n, err := client.WorkflowRestart()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("recovery event sent; %d events will replay\n", n)
+	case "trace":
+		limit := 0
+		if len(args) > 1 {
+			limit, err = strconv.Atoi(args[1])
+			if err != nil {
+				return fmt.Errorf("bad limit %q", args[1])
+			}
+		}
+		records, err := client.Trace(limit)
+		if err != nil {
+			return err
+		}
+		for _, r := range records {
+			fmt.Println(r)
+		}
+	case "stats":
+		st, err := client.Stats()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("store bytes:      %d\n", st.StoreBytes)
+		fmt.Printf("log meta bytes:   %d\n", st.LogMetaBytes)
+		fmt.Printf("objects:          %d\n", st.Objects)
+		fmt.Printf("puts/gets:        %d/%d\n", st.Puts, st.Gets)
+		fmt.Printf("suppressed puts:  %d\n", st.SuppressedPuts)
+		fmt.Printf("replay gets:      %d\n", st.ReplayGets)
+		fmt.Printf("gc freed bytes:   %d\n", st.GCFreedBytes)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}
+
+func nameVersion(args []string) (string, int64, error) {
+	if len(args) < 3 {
+		return "", 0, fmt.Errorf("%s needs <name> <version>", args[0])
+	}
+	v, err := strconv.ParseInt(args[2], 10, 64)
+	if err != nil {
+		return "", 0, fmt.Errorf("bad version %q: %v", args[2], err)
+	}
+	return args[1], v, nil
+}
+
+func parseDomain(s string) (gospaces.BBox, error) {
+	parts := strings.Split(strings.ToLower(s), "x")
+	if len(parts) != 3 {
+		return gospaces.BBox{}, fmt.Errorf("domain must be XxYxZ, got %q", s)
+	}
+	var ext [3]int64
+	for i, p := range parts {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil || v < 1 {
+			return gospaces.BBox{}, fmt.Errorf("bad extent %q", p)
+		}
+		ext[i] = v
+	}
+	return gospaces.Box3(0, 0, 0, ext[0]-1, ext[1]-1, ext[2]-1), nil
+}

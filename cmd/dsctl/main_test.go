@@ -1,0 +1,73 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"gospaces"
+)
+
+func TestParseDomain(t *testing.T) {
+	b, err := parseDomain("512x512x256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Volume() != 512*512*256 {
+		t.Fatalf("volume = %d", b.Volume())
+	}
+	for _, bad := range []string{"512x512", "ax2x3", "0x1x1", "1x2x3x4", ""} {
+		if _, err := parseDomain(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}
+
+func TestNameVersion(t *testing.T) {
+	n, v, err := nameVersion([]string{"put", "field", "7"})
+	if err != nil || n != "field" || v != 7 {
+		t.Fatalf("got %s %d %v", n, v, err)
+	}
+	if _, _, err := nameVersion([]string{"put", "field"}); err == nil {
+		t.Fatal("short args accepted")
+	}
+	if _, _, err := nameVersion([]string{"put", "field", "x"}); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+// TestEndToEndAgainstLiveServers drives the dsctl command paths against
+// real TCP staging servers.
+func TestEndToEndAgainstLiveServers(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := gospaces.Serve("127.0.0.1:0", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	servers := strings.Join(addrs, ",")
+	for _, cmd := range [][]string{
+		{"put", "f", "1"},
+		{"get", "f", "1"},
+		{"versions", "f"},
+		{"check"},
+		{"restart"},
+		{"trace", "5"},
+		{"stats"},
+	} {
+		if err := run(servers, "32x32x16", 8, 2, "dsctl/0", cmd); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", []string{"bogus"}); err == nil {
+		t.Fatal("bogus command accepted")
+	}
+	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", nil); err == nil {
+		t.Fatal("missing command accepted")
+	}
+	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", []string{"trace", "zz"}); err == nil {
+		t.Fatal("bad trace limit accepted")
+	}
+}

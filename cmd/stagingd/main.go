@@ -1,0 +1,84 @@
+// Command stagingd runs one gospaces staging server over TCP.
+//
+// A staging area is a group of stagingd processes; clients (dsctl or
+// applications using gospaces.Connect) are configured with the full
+// ordered address list plus the shared domain geometry.
+//
+// Usage:
+//
+//	stagingd -addr :7070 -id 0          # one server
+//	stagingd -addr :7070 -servers 4     # a whole group, ports 7070..7073
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"gospaces"
+)
+
+func main() {
+	addr := flag.String("addr", ":7070", "listen address (host:port); with -servers > 1 the port is the base")
+	id := flag.Int("id", 0, "server id within the staging group (single-server mode)")
+	servers := flag.Int("servers", 1, "launch a whole group of n servers on consecutive ports")
+	flag.Parse()
+
+	var running []*gospaces.StagingServer
+	if *servers <= 1 {
+		srv, err := gospaces.Serve(*addr, *id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stagingd: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("stagingd: server %d listening on %s\n", *id, srv.Addr())
+		running = append(running, srv)
+	} else {
+		host, base, err := splitHostPort(*addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stagingd: %v\n", err)
+			os.Exit(1)
+		}
+		var addrs []string
+		for i := 0; i < *servers; i++ {
+			srv, err := gospaces.Serve(fmt.Sprintf("%s:%d", host, base+i), i)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "stagingd: server %d: %v\n", i, err)
+				os.Exit(1)
+			}
+			running = append(running, srv)
+			addrs = append(addrs, srv.Addr())
+		}
+		fmt.Printf("stagingd: group of %d servers up\n", *servers)
+		fmt.Printf("stagingd: dsctl -servers %s\n", strings.Join(addrs, ","))
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("stagingd: shutting down")
+	for _, srv := range running {
+		if err := srv.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "stagingd: close: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// splitHostPort parses "host:port" with a numeric port (host may be
+// empty for all interfaces).
+func splitHostPort(addr string) (string, int, error) {
+	i := strings.LastIndex(addr, ":")
+	if i < 0 {
+		return "", 0, fmt.Errorf("address %q missing port", addr)
+	}
+	port, err := strconv.Atoi(addr[i+1:])
+	if err != nil || port <= 0 {
+		return "", 0, fmt.Errorf("bad port in %q", addr)
+	}
+	return addr[:i], port, nil
+}

@@ -1,0 +1,19 @@
+package main
+
+import "testing"
+
+func TestSplitHostPort(t *testing.T) {
+	h, p, err := splitHostPort("127.0.0.1:7070")
+	if err != nil || h != "127.0.0.1" || p != 7070 {
+		t.Fatalf("got %q %d %v", h, p, err)
+	}
+	h, p, err = splitHostPort(":8080")
+	if err != nil || h != "" || p != 8080 {
+		t.Fatalf("got %q %d %v", h, p, err)
+	}
+	for _, bad := range []string{"nohost", "host:", "host:x", "host:-1"} {
+		if _, _, err := splitHostPort(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

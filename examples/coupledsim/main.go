@@ -1,0 +1,60 @@
+// Coupledsim runs a DNS–LES-style coupled simulation workflow (the
+// paper's motivating S3D scenario): a high-resolution solver producing
+// field data through staging and a coarse solver consuming it, both
+// under uncoordinated checkpoint/restart with data logging. Two
+// fail-stop failures are injected — one into each component — and the
+// run verifies every byte the consumer reads, demonstrating that
+// uncoordinated C/R with staging data logging keeps the coupled
+// workflow crash-consistent.
+//
+// Run with: go run ./examples/coupledsim
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gospaces"
+)
+
+func main() {
+	opts := gospaces.WorkflowOptions{
+		Scheme:     gospaces.Uncoordinated,
+		Steps:      16,
+		Global:     gospaces.Box3(0, 0, 0, 63, 63, 31),
+		ElemSize:   8,
+		SubsetFrac: 1.0,
+		SimRanks:   8, // DNS solver ranks
+		AnaRanks:   4, // LES solver ranks
+		NServers:   4,
+		SimPeriod:  4, // DNS checkpoints every 4 coupling cycles
+		AnaPeriod:  5, // LES every 5 — fully uncoordinated
+		Failures: []gospaces.FailAt{
+			{Component: "sim", Rank: 3, TS: 7},  // DNS rank dies at ts 7
+			{Component: "ana", Rank: 1, TS: 12}, // LES rank dies at ts 12
+		},
+		Spares: 4,
+	}
+
+	fmt.Println("coupled DNS-LES workflow, uncoordinated C/R with data logging")
+	fmt.Printf("  %d DNS ranks (ckpt every %d ts), %d LES ranks (ckpt every %d ts), %d staging servers\n",
+		opts.SimRanks, opts.SimPeriod, opts.AnaRanks, opts.AnaPeriod, opts.NServers)
+	fmt.Printf("  injecting %d failures\n", len(opts.Failures))
+
+	res, err := gospaces.RunWorkflow(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ncompleted %d coupling cycles in %v\n", opts.Steps, res.Elapsed.Round(1_000_000))
+	fmt.Printf("  recoveries:            %d (component-level, no global rollback)\n", res.Recoveries)
+	fmt.Printf("  events replayed:       %d\n", res.ReplayedEvents)
+	fmt.Printf("  duplicate writes suppressed: %d\n", res.SuppressedPuts)
+	fmt.Printf("  replay-mode reads served:    %d\n", res.Staging.ReplayGets)
+	fmt.Printf("  verified reads:        %d\n", res.SuccessReads)
+	fmt.Printf("  corrupted reads:       %d\n", res.CorruptReads)
+	if res.CorruptReads != 0 {
+		log.Fatal("crash consistency violated!")
+	}
+	fmt.Println("every byte the LES solver consumed matched the DNS output — crash consistency held.")
+}

@@ -1,0 +1,101 @@
+// Quickstart: stage data through gospaces with crash-consistency
+// logging, checkpoint, crash the consumer, and watch the staging area
+// replay exactly what the consumer saw before the failure — while the
+// producer keeps moving.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gospaces"
+)
+
+func main() {
+	global := gospaces.Box3(0, 0, 0, 63, 63, 31)
+
+	// A staging area of 4 in-process servers indexing the domain.
+	stage, err := gospaces.StartStaging(gospaces.StagingConfig{
+		Global:   global,
+		NServers: 4,
+		Bits:     2,
+		ElemSize: 8,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stage.Close()
+
+	producer, err := stage.NewClient("sim/0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer producer.Close()
+	consumer, err := stage.NewClient("viz/0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer consumer.Close()
+
+	// Deterministic synthetic field so every read can be verified.
+	field := gospaces.NewField("temperature", global, 8)
+
+	fmt.Println("-- initial execution: ts 1..4, consumer checkpoints after ts 2")
+	for ts := int64(1); ts <= 4; ts++ {
+		if err := producer.PutWithLog("temperature", ts, global, field.Fill(ts, global)); err != nil {
+			log.Fatal(err)
+		}
+		data, _, err := consumer.GetWithLog("temperature", ts, global)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if field.Verify(ts, global, data) >= 0 {
+			log.Fatalf("ts %d: corrupted read", ts)
+		}
+		fmt.Printf("   ts %d staged and consumed (%d bytes)\n", ts, len(data))
+		if ts == 2 {
+			if _, err := consumer.WorkflowCheck(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("   consumer checkpointed (workflow_check)")
+		}
+	}
+
+	fmt.Println("-- consumer crashes; restarts from its ts-2 checkpoint")
+	replay, err := consumer.WorkflowRestart()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   workflow_restart: %d logged events will replay\n", replay)
+
+	fmt.Println("-- producer moves on to ts 5..6 while the consumer replays ts 3..4")
+	for i, ts := range []int64{3, 4} {
+		newTS := int64(5 + i)
+		if err := producer.PutWithLog("temperature", newTS, global, field.Fill(newTS, global)); err != nil {
+			log.Fatal(err)
+		}
+		data, v, err := consumer.GetWithLog("temperature", ts, global)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if v != ts || field.Verify(ts, global, data) >= 0 {
+			log.Fatalf("replay of ts %d returned wrong data (v=%d)", ts, v)
+		}
+		fmt.Printf("   producer staged ts %d; consumer replayed ts %d and got the ORIGINAL bytes\n", newTS, ts)
+	}
+
+	fmt.Println("-- consumer caught up; normal reads resume at ts 5")
+	if _, _, err := consumer.GetWithLog("temperature", 5, global); err != nil {
+		log.Fatal(err)
+	}
+
+	stats, err := consumer.Stats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("-- staging stats: %d puts, %d gets, %d replay gets, %d bytes resident\n",
+		stats.Puts, stats.Gets, stats.ReplayGets, stats.StoreBytes)
+	fmt.Println("crash consistency held: the recovering consumer saw exactly its original data.")
+}

@@ -1,0 +1,268 @@
+// Package gospaces is a staging-based in-situ workflow runtime with
+// workflow-level crash consistency, reproducing "Scalable Crash
+// Consistency for Staging-based In-situ Scientific Workflows"
+// (Duan & Parashar, IPDPS 2020) in pure Go.
+//
+// The package provides:
+//
+//   - A DataSpaces-like staging service: groups of in-memory servers
+//     jointly storing versioned array regions addressed by bounding
+//     box, over in-process or TCP transports (StartStaging, Serve,
+//     Connect).
+//   - The paper's crash-consistency interface (its Table I):
+//     Client.PutWithLog, Client.GetWithLog, Client.WorkflowCheck, and
+//     Client.WorkflowRestart. Staging servers log data-access events in
+//     per-component queues; after a failure, a component restarts from
+//     its own checkpoint and the staging area replays its logged reads
+//     and suppresses its duplicate writes, keeping the coupled workflow
+//     consistent without coordinated global rollback.
+//   - A workflow runtime (RunWorkflow) that executes a coupled
+//     producer/consumer workflow on an MPI-like runtime under any of the
+//     paper's four fault-tolerance schemes — Coordinated,
+//     Uncoordinated, Individual, Hybrid — with live fail-stop injection
+//     and recovery.
+//   - The evaluation harness (RunScaleModel plus cmd/wfbench), which
+//     regenerates every table and figure of the paper's evaluation.
+//
+// See the examples/ directory for runnable programs and DESIGN.md for
+// the system inventory.
+package gospaces
+
+import (
+	"fmt"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/cluster"
+	"gospaces/internal/corec"
+	"gospaces/internal/dht"
+	"gospaces/internal/domain"
+	"gospaces/internal/expt"
+	"gospaces/internal/staging"
+	"gospaces/internal/synth"
+	"gospaces/internal/transport"
+	"gospaces/internal/workflow"
+)
+
+// ---------------------------------------------------------------------
+// Geometry.
+
+// BBox is a closed axis-aligned box on the global integer grid; every
+// staged object and staging request carries one.
+type BBox = domain.BBox
+
+// Point is a grid coordinate.
+type Point = domain.Point
+
+// Decomposition partitions a global box across application ranks.
+type Decomposition = domain.Decomposition
+
+// Box3 builds a 3-D box literal [x0..x1]x[y0..y1]x[z0..z1].
+func Box3(x0, y0, z0, x1, y1, z1 int64) BBox { return domain.Box3(x0, y0, z0, x1, y1, z1) }
+
+// NewBBox constructs an n-dimensional box.
+func NewBBox(n int, min, max []int64) (BBox, error) { return domain.NewBBox(n, min, max) }
+
+// NewDecomposition partitions global over a process grid.
+func NewDecomposition(global BBox, procs []int) (*Decomposition, error) {
+	return domain.NewDecomposition(global, procs)
+}
+
+// Subset returns a box covering the given fraction of the domain (the
+// paper's Case 1 access pattern).
+func Subset(global BBox, frac float64) BBox { return domain.Subset(global, frac) }
+
+// ---------------------------------------------------------------------
+// Staging.
+
+// StagingConfig describes a staging server group.
+type StagingConfig = staging.Config
+
+// Curve selects the space-filling curve of the staging index.
+type Curve = dht.Curve
+
+// Space-filling curves for StagingConfig.Curve.
+const (
+	// ZOrder is the Morton curve, DataSpaces' default.
+	ZOrder = dht.CurveZ
+	// Hilbert trades code computation for better query locality.
+	Hilbert = dht.CurveHilbert
+)
+
+// Staging is a running in-process staging group.
+type Staging = staging.Group
+
+// Pool is a client-side view of a staging group.
+type Pool = staging.Pool
+
+// Client is one application rank's connection to the staging area. It
+// carries both the original DataSpaces-style API (Put/Get) and the
+// paper's crash-consistent API (PutWithLog/GetWithLog/WorkflowCheck/
+// WorkflowRestart).
+type Client = staging.Client
+
+// StagingStats is the aggregated server-side accounting.
+type StagingStats = staging.StatsResp
+
+// NoVersion requests the latest staged version on Get.
+const NoVersion = staging.NoVersion
+
+// ReduceOp selects a server-side (in-transit) aggregate for
+// Client.Reduce: the staging servers reduce their local pieces and the
+// client combines partials, so the field never leaves the staging area.
+type ReduceOp = staging.ReduceOp
+
+// In-transit reductions.
+const (
+	ReduceMin   = staging.ReduceMin
+	ReduceMax   = staging.ReduceMax
+	ReduceSum   = staging.ReduceSum
+	ReduceCount = staging.ReduceCount
+)
+
+// StartStaging launches an in-process staging group.
+func StartStaging(cfg StagingConfig) (*Staging, error) {
+	return staging.StartGroup(transport.NewInProc(), "gospaces", cfg)
+}
+
+// StagingServer is one TCP staging server (cmd/stagingd wraps this).
+type StagingServer struct {
+	ep *transport.TCPEndpoint
+}
+
+// Addr returns the server's bound address.
+func (s *StagingServer) Addr() string { return s.ep.Addr() }
+
+// Close stops the server.
+func (s *StagingServer) Close() error { return s.ep.Close() }
+
+// Serve starts staging server id listening on addr (host:port; use
+// ":0" for an ephemeral port).
+func Serve(addr string, id int) (*StagingServer, error) {
+	srv := staging.NewServer(id)
+	ep, err := transport.NewTCP().ListenTCP(addr, srv.Handle)
+	if err != nil {
+		return nil, fmt.Errorf("gospaces: serve: %w", err)
+	}
+	return &StagingServer{ep: ep}, nil
+}
+
+// Connect builds a client pool for staging servers listening on the
+// given TCP addresses (in server-id order).
+func Connect(addrs []string, cfg StagingConfig) (*Pool, error) {
+	return staging.NewPool(transport.NewTCP(), addrs, cfg)
+}
+
+// ---------------------------------------------------------------------
+// Workflow-level fault tolerance.
+
+// Scheme selects the workflow-level fault-tolerance scheme.
+type Scheme = ckpt.Scheme
+
+// The paper's four schemes (§IV-A).
+const (
+	// Coordinated is global coordinated checkpoint/restart: the whole
+	// workflow checkpoints together and rolls back together.
+	Coordinated = ckpt.Coordinated
+	// Uncoordinated checkpoints components independently, relying on
+	// staging data logging for crash consistency.
+	Uncoordinated = ckpt.Uncoordinated
+	// Individual checkpoints components independently without data
+	// logging: fastest, but does not guarantee correct results.
+	Individual = ckpt.Individual
+	// Hybrid mixes process replication (analytic) with C/R
+	// (simulation), composed through data logging.
+	Hybrid = ckpt.Hybrid
+)
+
+// WorkflowOptions configures a live workflow run.
+type WorkflowOptions = workflow.Options
+
+// WorkflowResult reports a live workflow run, including the end-to-end
+// consistency verification counters.
+type WorkflowResult = workflow.Result
+
+// FailAt schedules a fail-stop injection into a live workflow run.
+type FailAt = workflow.FailAt
+
+// RunWorkflow executes a coupled producer/consumer workflow on live
+// staging with the chosen scheme, injecting and recovering the
+// scheduled failures. Every consumer read is verified against the
+// deterministic synthetic field, so WorkflowResult.CorruptReads == 0
+// demonstrates crash consistency end to end.
+func RunWorkflow(opts WorkflowOptions) (WorkflowResult, error) {
+	return workflow.Run(opts)
+}
+
+// ---------------------------------------------------------------------
+// Synthetic fields (workload generation and validation).
+
+// Field generates deterministic synthetic array data, so producers and
+// validators agree on every byte without communicating.
+type Field = synth.Field
+
+// NewField creates a field generator for (name, domain, element size).
+func NewField(name string, global BBox, elemSize int) *Field {
+	return synth.NewField(name, global, elemSize)
+}
+
+// ---------------------------------------------------------------------
+// Staging-data resilience (CoREC layer).
+
+// RedundancyMode selects replication or erasure coding for staged data.
+type RedundancyMode = corec.Mode
+
+// Redundancy schemes for staged payloads.
+const (
+	Replication   = corec.Replication
+	ErasureCoding = corec.ErasureCoding
+)
+
+// RedundancyConfig describes the redundancy geometry.
+type RedundancyConfig = corec.Config
+
+// Redundancy stores objects resiliently across the staging group, with
+// degraded reads while servers are down and explicit rebuild.
+type Redundancy = corec.Client
+
+// NewRedundancy creates a resilience client over a staging client's
+// server connections.
+func NewRedundancy(cfg RedundancyConfig, c *Client) (*Redundancy, error) {
+	conns := make([]transport.Client, c.NumServers())
+	for i := range conns {
+		conns[i] = c.ShardConn(i)
+	}
+	return corec.New(cfg, conns)
+}
+
+// ---------------------------------------------------------------------
+// Evaluation harness.
+
+// MachineModel holds the performance model of the host system.
+type MachineModel = cluster.Machine
+
+// WorkflowConfig is one experiment configuration (core counts, domain,
+// checkpoint periods, failure characteristics).
+type WorkflowConfig = cluster.Workflow
+
+// Cori returns the default Cori-like machine model.
+func Cori() MachineModel { return cluster.Cori() }
+
+// TableII returns the paper's Table II configuration (352 cores).
+func TableII() WorkflowConfig { return cluster.TableII() }
+
+// TableIII returns the paper's Table III scalability configurations
+// (704..11264 cores).
+func TableIII() []WorkflowConfig { return cluster.TableIII() }
+
+// ScaleModelParams configures a virtual-time run at paper scale.
+type ScaleModelParams = expt.SimParams
+
+// ScaleModelResult reports a virtual-time run.
+type ScaleModelResult = expt.SimResult
+
+// RunScaleModel executes the crash-consistency protocol on the
+// virtual-time simulator at any Table II/III scale and returns the
+// total workflow execution time (Figures 9(e) and 10).
+func RunScaleModel(p ScaleModelParams) (ScaleModelResult, error) {
+	return expt.RunSim(p)
+}

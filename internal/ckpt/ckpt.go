@@ -1,0 +1,194 @@
+// Package ckpt implements application-level checkpoint/restart for
+// workflow components: serializing rank state to reliable storage
+// (internal/pfs), the four workflow-level schemes the paper evaluates
+// (global coordinated, uncoordinated, individual, hybrid — §IV-A), and
+// the extensions its future-work section names: proactive checkpointing
+// and multi-level checkpointing.
+package ckpt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"gospaces/internal/pfs"
+)
+
+// Scheme selects the workflow-level fault-tolerance scheme (the Co /
+// Un / In / Hy bars of Figure 9/10).
+type Scheme int
+
+// Workflow-level fault-tolerance schemes.
+const (
+	// Coordinated checkpoints all components together and rolls the
+	// whole workflow back on any failure (the paper's baseline, "Co").
+	Coordinated Scheme = iota
+	// Uncoordinated checkpoints components independently; staging data
+	// logging keeps them consistent across rollbacks ("Un").
+	Uncoordinated
+	// Individual checkpoints components independently WITHOUT data
+	// logging: the theoretical-optimal lower bound on time, which does
+	// not guarantee correct results ("In").
+	Individual
+	// Hybrid protects some components with process replication and the
+	// rest with C/R, composed through data logging ("Hy").
+	Hybrid
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case Coordinated:
+		return "coordinated"
+	case Uncoordinated:
+		return "uncoordinated"
+	case Individual:
+		return "individual"
+	case Hybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("scheme(%d)", int(s))
+	}
+}
+
+// Logged reports whether the scheme requires the staging data-logging
+// path (PutWithLog/GetWithLog).
+func (s Scheme) Logged() bool { return s == Uncoordinated || s == Hybrid }
+
+// Saver persists per-rank component state in a checkpoint store.
+type Saver struct {
+	store *pfs.Store
+}
+
+// NewSaver wraps a checkpoint store.
+func NewSaver(store *pfs.Store) *Saver { return &Saver{store: store} }
+
+// Key names rank's checkpoint object.
+func Key(component string, rank int) string {
+	return fmt.Sprintf("ckpt/%s/%d", component, rank)
+}
+
+// Save serializes state (gob) as the rank's current checkpoint,
+// replacing the previous one.
+func (s *Saver) Save(component string, rank int, state any) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
+		return fmt.Errorf("ckpt: encode %s/%d: %w", component, rank, err)
+	}
+	s.store.Write(Key(component, rank), buf.Bytes())
+	return nil
+}
+
+// Load restores the rank's last checkpoint into out, reporting whether
+// one existed.
+func (s *Saver) Load(component string, rank int, out any) (bool, error) {
+	data, ok := s.store.Read(Key(component, rank))
+	if !ok {
+		return false, nil
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return false, fmt.Errorf("ckpt: decode %s/%d: %w", component, rank, err)
+	}
+	return true, nil
+}
+
+// Drop removes the rank's checkpoint.
+func (s *Saver) Drop(component string, rank int) {
+	s.store.Delete(Key(component, rank))
+}
+
+// ---------------------------------------------------------------------
+// Proactive checkpointing (Bouguerra et al., IPDPS'13): when a failure
+// predictor warns of an imminent failure, take an extra checkpoint just
+// before it instead of losing the whole period.
+
+// ProactivePolicy decides checkpoint points from a base period plus
+// failure predictions.
+type ProactivePolicy struct {
+	// Period is the preventive checkpoint period in timesteps.
+	Period int
+	// Predictions are timesteps at which failures are predicted; a
+	// proactive checkpoint is taken at the step before each.
+	Predictions map[int64]bool
+}
+
+// ShouldCheckpoint reports whether a checkpoint is due after completing
+// timestep ts.
+func (p ProactivePolicy) ShouldCheckpoint(ts int64) bool {
+	if p.Period > 0 && ts%int64(p.Period) == 0 {
+		return true
+	}
+	return p.Predictions[ts+1]
+}
+
+// ---------------------------------------------------------------------
+// Multi-level checkpointing (Moody et al., SC'10): frequent cheap
+// checkpoints to node-local storage (L1), periodic checkpoints to the
+// PFS (L2). L1 survives process failures but not node loss.
+
+// MultiLevel writes checkpoints alternately to a fast local store and a
+// durable global store.
+type MultiLevel struct {
+	l1, l2 *Saver
+	// L2Every directs every n-th checkpoint to the durable level.
+	L2Every int
+	counts  map[string]int
+}
+
+// NewMultiLevel builds a two-level saver. l1 is the fast, volatile
+// level; l2 the durable one. l2Every must be >= 1.
+func NewMultiLevel(l1, l2 *pfs.Store, l2Every int) (*MultiLevel, error) {
+	if l2Every < 1 {
+		return nil, fmt.Errorf("ckpt: l2Every must be >= 1, got %d", l2Every)
+	}
+	return &MultiLevel{
+		l1:      NewSaver(l1),
+		l2:      NewSaver(l2),
+		L2Every: l2Every,
+		counts:  make(map[string]int),
+	}, nil
+}
+
+// Save writes the checkpoint to L1, and additionally to L2 on every
+// L2Every-th call for the same rank.
+func (m *MultiLevel) Save(component string, rank int, state any) (level int, err error) {
+	k := Key(component, rank)
+	m.counts[k]++
+	if err := m.l1.Save(component, rank, state); err != nil {
+		return 0, err
+	}
+	if m.counts[k]%m.L2Every == 0 {
+		if err := m.l2.Save(component, rank, state); err != nil {
+			return 0, err
+		}
+		return 2, nil
+	}
+	return 1, nil
+}
+
+// Load restores from L1 if present, else from L2. It returns the level
+// used (0 when no checkpoint exists).
+func (m *MultiLevel) Load(component string, rank int, out any) (level int, err error) {
+	ok, err := m.l1.Load(component, rank, out)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return 1, nil
+	}
+	ok, err = m.l2.Load(component, rank, out)
+	if err != nil {
+		return 0, err
+	}
+	if ok {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+// InvalidateL1 simulates node loss: all L1 checkpoints of the component
+// vanish, forcing recovery from the durable level.
+func (m *MultiLevel) InvalidateL1(component string, ranks int) {
+	for r := 0; r < ranks; r++ {
+		m.l1.Drop(component, r)
+	}
+}

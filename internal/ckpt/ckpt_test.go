@@ -1,0 +1,161 @@
+package ckpt
+
+import (
+	"testing"
+
+	"gospaces/internal/pfs"
+)
+
+type rankState struct {
+	LastTS int64
+	Blob   []byte
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewSaver(pfs.NewStore())
+	in := rankState{LastTS: 7, Blob: []byte{1, 2, 3}}
+	if err := s.Save("sim", 3, in); err != nil {
+		t.Fatal(err)
+	}
+	var out rankState
+	ok, err := s.Load("sim", 3, &out)
+	if err != nil || !ok {
+		t.Fatalf("load: %v %v", ok, err)
+	}
+	if out.LastTS != 7 || len(out.Blob) != 3 {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	s := NewSaver(pfs.NewStore())
+	var out rankState
+	ok, err := s.Load("sim", 0, &out)
+	if err != nil || ok {
+		t.Fatalf("missing load: %v %v", ok, err)
+	}
+}
+
+func TestSaveReplaces(t *testing.T) {
+	s := NewSaver(pfs.NewStore())
+	_ = s.Save("sim", 0, rankState{LastTS: 4})
+	_ = s.Save("sim", 0, rankState{LastTS: 8})
+	var out rankState
+	if _, err := s.Load("sim", 0, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.LastTS != 8 {
+		t.Fatalf("LastTS = %d", out.LastTS)
+	}
+}
+
+func TestDrop(t *testing.T) {
+	s := NewSaver(pfs.NewStore())
+	_ = s.Save("sim", 0, rankState{LastTS: 1})
+	s.Drop("sim", 0)
+	var out rankState
+	if ok, _ := s.Load("sim", 0, &out); ok {
+		t.Fatal("checkpoint survived drop")
+	}
+}
+
+func TestRanksIsolated(t *testing.T) {
+	s := NewSaver(pfs.NewStore())
+	_ = s.Save("sim", 0, rankState{LastTS: 1})
+	_ = s.Save("sim", 1, rankState{LastTS: 2})
+	_ = s.Save("ana", 0, rankState{LastTS: 3})
+	var out rankState
+	_, _ = s.Load("ana", 0, &out)
+	if out.LastTS != 3 {
+		t.Fatalf("ana/0 = %d", out.LastTS)
+	}
+}
+
+func TestSchemeProperties(t *testing.T) {
+	if Coordinated.Logged() || Individual.Logged() {
+		t.Fatal("Co/In should not require logging")
+	}
+	if !Uncoordinated.Logged() || !Hybrid.Logged() {
+		t.Fatal("Un/Hy require logging")
+	}
+	names := map[Scheme]string{
+		Coordinated: "coordinated", Uncoordinated: "uncoordinated",
+		Individual: "individual", Hybrid: "hybrid",
+	}
+	for s, n := range names {
+		if s.String() != n {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}
+
+func TestProactivePolicy(t *testing.T) {
+	p := ProactivePolicy{Period: 4, Predictions: map[int64]bool{7: true}}
+	if !p.ShouldCheckpoint(4) || !p.ShouldCheckpoint(8) {
+		t.Fatal("periodic checkpoints missed")
+	}
+	if p.ShouldCheckpoint(5) {
+		t.Fatal("spurious checkpoint")
+	}
+	// Failure predicted at ts 7: checkpoint right after ts 6.
+	if !p.ShouldCheckpoint(6) {
+		t.Fatal("proactive checkpoint missed")
+	}
+	// No period at all: only predictions trigger.
+	p2 := ProactivePolicy{Predictions: map[int64]bool{3: true}}
+	if p2.ShouldCheckpoint(4) || !p2.ShouldCheckpoint(2) {
+		t.Fatal("prediction-only policy wrong")
+	}
+}
+
+func TestMultiLevelSaveLevels(t *testing.T) {
+	l1, l2 := pfs.NewStore(), pfs.NewStore()
+	m, err := NewMultiLevel(l1, l2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLevels := []int{1, 1, 2, 1, 1, 2}
+	for i, want := range wantLevels {
+		lvl, err := m.Save("sim", 0, rankState{LastTS: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lvl != want {
+			t.Fatalf("save %d went to level %d, want %d", i, lvl, want)
+		}
+	}
+}
+
+func TestMultiLevelLoadPrefersL1(t *testing.T) {
+	l1, l2 := pfs.NewStore(), pfs.NewStore()
+	m, _ := NewMultiLevel(l1, l2, 2)
+	_, _ = m.Save("sim", 0, rankState{LastTS: 1}) // L1 only
+	_, _ = m.Save("sim", 0, rankState{LastTS: 2}) // L1 + L2
+	_, _ = m.Save("sim", 0, rankState{LastTS: 3}) // L1 only
+	var out rankState
+	lvl, err := m.Load("sim", 0, &out)
+	if err != nil || lvl != 1 || out.LastTS != 3 {
+		t.Fatalf("load = level %d state %+v err %v", lvl, out, err)
+	}
+	// Node loss: L1 gone, recover older state from L2.
+	m.InvalidateL1("sim", 1)
+	lvl, err = m.Load("sim", 0, &out)
+	if err != nil || lvl != 2 || out.LastTS != 2 {
+		t.Fatalf("post-loss load = level %d state %+v err %v", lvl, out, err)
+	}
+}
+
+func TestMultiLevelNoCheckpoint(t *testing.T) {
+	m, _ := NewMultiLevel(pfs.NewStore(), pfs.NewStore(), 2)
+	var out rankState
+	lvl, err := m.Load("sim", 0, &out)
+	if err != nil || lvl != 0 {
+		t.Fatalf("empty load = %d %v", lvl, err)
+	}
+}
+
+func TestMultiLevelValidation(t *testing.T) {
+	if _, err := NewMultiLevel(pfs.NewStore(), pfs.NewStore(), 0); err == nil {
+		t.Fatal("l2Every=0 accepted")
+	}
+}

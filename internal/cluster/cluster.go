@@ -1,0 +1,167 @@
+// Package cluster holds the machine model and the experiment
+// configurations of the paper's evaluation (§IV, Tables II and III):
+// core allocations, domain sizes, checkpoint periods, and failure
+// characteristics for the synthetic workflows run on Cori (Cray XC40).
+package cluster
+
+import (
+	"time"
+
+	"gospaces/internal/domain"
+)
+
+// Machine models the performance-relevant characteristics of the host
+// system. The defaults approximate Cori: Haswell nodes (32 cores), an
+// Aries interconnect, and a Lustre scratch file system. Absolute
+// numbers only set the scale of the simulated clock; the experiment
+// conclusions depend on the ratios.
+type Machine struct {
+	CoresPerNode int
+	// StagingBWPerServer is the ingest bandwidth of one staging server
+	// core (bytes/second).
+	StagingBWPerServer float64
+	// StagingLatency is the per-request staging latency.
+	StagingLatency time.Duration
+	// PFSBandwidth is the aggregate parallel-file-system bandwidth
+	// shared by all checkpoint writers (bytes/second).
+	PFSBandwidth float64
+	// PFSLatency is the per-operation PFS latency.
+	PFSLatency time.Duration
+	// ComputePerStep is the simulation compute time per timestep.
+	ComputePerStep time.Duration
+	// AnalyticPerStep is the analytic compute time per timestep.
+	AnalyticPerStep time.Duration
+	// DetectDelay is failure-detection plus process-recovery time
+	// (ULFM shrink + spare join, §III-C).
+	DetectDelay time.Duration
+}
+
+// Cori returns the default machine model.
+func Cori() Machine {
+	return Machine{
+		CoresPerNode:       32,
+		StagingBWPerServer: 1.2e9, // ~1.2 GB/s ingest per staging core
+		StagingLatency:     30 * time.Microsecond,
+		PFSBandwidth:       700e9 / 10, // a job's share of Cori scratch
+		PFSLatency:         2 * time.Millisecond,
+		ComputePerStep:     10 * time.Second,
+		AnalyticPerStep:    time.Second,
+		DetectDelay:        3 * time.Second,
+	}
+}
+
+// Workflow is one synthetic-workflow experiment configuration.
+type Workflow struct {
+	Name string
+	// Core allocations (Table II / III).
+	SimCores      int
+	StagingCores  int
+	AnalyticCores int
+	// Global is the data domain; ElemSize the bytes per cell.
+	Global   domain.BBox
+	ElemSize int
+	// Steps is the coupling-cycle count (40 in the paper).
+	Steps int
+	// SubsetFrac is the fraction of the domain exchanged per step
+	// (Case 1 varies 0.2..1.0).
+	SubsetFrac float64
+	// Checkpoint periods in timesteps.
+	CoordPeriod int
+	SimPeriod   int
+	AnaPeriod   int
+	// CheckpointBytesPerCore is the process-state checkpoint size each
+	// core writes to the PFS.
+	CheckpointBytesPerCore int64
+	// MTBF and failure count for the run.
+	MTBF      time.Duration
+	NFailures int
+}
+
+// BytesPerStep returns the coupled-data volume exchanged per timestep.
+func (w Workflow) BytesPerStep() int64 {
+	sub := domain.Subset(w.Global, w.SubsetFrac)
+	return sub.Volume() * int64(w.ElemSize)
+}
+
+// TotalCores returns the full allocation.
+func (w Workflow) TotalCores() int { return w.SimCores + w.StagingCores + w.AnalyticCores }
+
+// TableII returns the Case 1 / Case 2 setup: 256 simulation cores,
+// 32 staging cores, 64 analytic cores, a 512x512x256 domain (0.5 GB per
+// step, 20 GB over 40 steps), checkpoint periods 4 (coordinated), 4
+// (simulation), 5 (analytic), and MTBF 10 min.
+func TableII() Workflow {
+	return Workflow{
+		Name:                   "table2",
+		SimCores:               256,
+		StagingCores:           32,
+		AnalyticCores:          64,
+		Global:                 domain.Box3(0, 0, 0, 511, 511, 255),
+		ElemSize:               8,
+		Steps:                  40,
+		SubsetFrac:             1.0,
+		CoordPeriod:            4,
+		SimPeriod:              4,
+		AnaPeriod:              5,
+		CheckpointBytesPerCore: 64 << 20,
+		MTBF:                   10 * time.Minute,
+		NFailures:              1,
+	}
+}
+
+// TableIII returns the five scalability configurations: 704 to 11264
+// total cores with the per-step data volume doubling at each scale
+// (1..16 GB per step; 40..640 GB over 40 steps), checkpoint periods
+// 8/8/10, and 1..3 failures at MTBF 600/300/200 s.
+func TableIII() []Workflow {
+	mtbfs := []time.Duration{600 * time.Second, 300 * time.Second, 200 * time.Second, 150 * time.Second, 120 * time.Second}
+	nfail := []int{1, 2, 3, 3, 3}
+	// Domain doubles one dimension per scale step: 1 GB/step at the
+	// smallest scale (1024x512x256 cells x 8 B).
+	dims := [][3]int64{
+		{1024, 512, 256},
+		{1024, 1024, 256},
+		{1024, 1024, 512},
+		{2048, 1024, 512},
+		{2048, 2048, 512},
+	}
+	var out []Workflow
+	simCores := 512
+	for i := 0; i < 5; i++ {
+		w := Workflow{
+			Name:                   scaleName(simCores),
+			SimCores:               simCores,
+			StagingCores:           simCores / 8,
+			AnalyticCores:          simCores / 4,
+			Global:                 domain.Box3(0, 0, 0, dims[i][0]-1, dims[i][1]-1, dims[i][2]-1),
+			ElemSize:               8,
+			Steps:                  40,
+			SubsetFrac:             1.0,
+			CoordPeriod:            8,
+			SimPeriod:              8,
+			AnaPeriod:              10,
+			CheckpointBytesPerCore: 64 << 20,
+			MTBF:                   mtbfs[i],
+			NFailures:              nfail[i],
+		}
+		out = append(out, w)
+		simCores *= 2
+	}
+	return out
+}
+
+func scaleName(simCores int) string {
+	total := simCores + simCores/8 + simCores/4
+	switch {
+	case total >= 10000:
+		return "11264-cores"
+	case total >= 5000:
+		return "5632-cores"
+	case total >= 2500:
+		return "2816-cores"
+	case total >= 1200:
+		return "1408-cores"
+	default:
+		return "704-cores"
+	}
+}

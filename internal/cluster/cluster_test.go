@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTableIIMatchesPaper(t *testing.T) {
+	w := TableII()
+	if w.TotalCores() != 352 {
+		t.Fatalf("total cores = %d, want 352", w.TotalCores())
+	}
+	if w.SimCores != 256 || w.StagingCores != 32 || w.AnalyticCores != 64 {
+		t.Fatalf("allocation = %d/%d/%d", w.SimCores, w.StagingCores, w.AnalyticCores)
+	}
+	if w.Global.Volume() != 512*512*256 {
+		t.Fatalf("domain volume = %d", w.Global.Volume())
+	}
+	// 40 timesteps of the full domain at 8 B/cell = 20 GB.
+	total := w.BytesPerStep() * int64(w.Steps)
+	if total != 20<<30 {
+		t.Fatalf("40-step data = %d bytes, want 20 GiB", total)
+	}
+	if w.CoordPeriod != 4 || w.SimPeriod != 4 || w.AnaPeriod != 5 {
+		t.Fatalf("periods = %d/%d/%d", w.CoordPeriod, w.SimPeriod, w.AnaPeriod)
+	}
+	if w.MTBF != 10*time.Minute {
+		t.Fatalf("mtbf = %v", w.MTBF)
+	}
+}
+
+func TestTableIIIMatchesPaper(t *testing.T) {
+	ws := TableIII()
+	if len(ws) != 5 {
+		t.Fatalf("%d scales", len(ws))
+	}
+	wantTotal := []int{704, 1408, 2816, 5632, 11264}
+	wantSim := []int{512, 1024, 2048, 4096, 8192}
+	wantGB := []int64{40, 80, 160, 320, 640}
+	for i, w := range ws {
+		if w.TotalCores() != wantTotal[i] {
+			t.Fatalf("scale %d: total %d, want %d", i, w.TotalCores(), wantTotal[i])
+		}
+		if w.SimCores != wantSim[i] {
+			t.Fatalf("scale %d: sim %d", i, w.SimCores)
+		}
+		if w.StagingCores != wantSim[i]/8 || w.AnalyticCores != wantSim[i]/4 {
+			t.Fatalf("scale %d: staging/analytic %d/%d", i, w.StagingCores, w.AnalyticCores)
+		}
+		total := w.BytesPerStep() * int64(w.Steps)
+		if total != wantGB[i]<<30 {
+			t.Fatalf("scale %d: data %d bytes, want %d GiB", i, total, wantGB[i])
+		}
+		if w.CoordPeriod != 8 || w.SimPeriod != 8 || w.AnaPeriod != 10 {
+			t.Fatalf("scale %d: periods %d/%d/%d", i, w.CoordPeriod, w.SimPeriod, w.AnaPeriod)
+		}
+	}
+	// MTBF / failure counts from Table III's first three columns.
+	if ws[0].MTBF != 600*time.Second || ws[0].NFailures != 1 {
+		t.Fatalf("scale 0 failures: %v/%d", ws[0].MTBF, ws[0].NFailures)
+	}
+	if ws[1].MTBF != 300*time.Second || ws[1].NFailures != 2 {
+		t.Fatalf("scale 1 failures: %v/%d", ws[1].MTBF, ws[1].NFailures)
+	}
+	if ws[2].MTBF != 200*time.Second || ws[2].NFailures != 3 {
+		t.Fatalf("scale 2 failures: %v/%d", ws[2].MTBF, ws[2].NFailures)
+	}
+}
+
+func TestSubsetScalesBytesPerStep(t *testing.T) {
+	w := TableII()
+	w.SubsetFrac = 0.5
+	half := w.BytesPerStep()
+	w.SubsetFrac = 1.0
+	full := w.BytesPerStep()
+	ratio := float64(half) / float64(full)
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Fatalf("half subset ratio = %f", ratio)
+	}
+}
+
+func TestCoriModelSane(t *testing.T) {
+	m := Cori()
+	if m.CoresPerNode <= 0 || m.PFSBandwidth <= 0 || m.StagingBWPerServer <= 0 {
+		t.Fatalf("machine = %+v", m)
+	}
+	if m.ComputePerStep <= 0 || m.DetectDelay <= 0 {
+		t.Fatalf("times = %+v", m)
+	}
+}

@@ -1,0 +1,119 @@
+package dht
+
+import "gospaces/internal/domain"
+
+// Hilbert curve support. DataSpaces-family systems index the domain
+// with a space-filling curve; the Hilbert curve preserves locality
+// better than Z-order (no long diagonal jumps), which shrinks the
+// server fan-out of box queries at the cost of a more expensive code
+// computation. The implementation follows Skilling, "Programming the
+// Hilbert curve" (AIP 2004): coordinates are converted to/from the
+// "transposed" Hilbert index, which interleaves exactly like a Morton
+// code.
+
+// Curve selects the space-filling curve an Index orders cells by.
+type Curve int
+
+// Supported curves.
+const (
+	// CurveZ is the Z-order (Morton) curve, DataSpaces' default.
+	CurveZ Curve = iota
+	// CurveHilbert is the Hilbert curve.
+	CurveHilbert
+)
+
+func (c Curve) String() string {
+	switch c {
+	case CurveZ:
+		return "z-order"
+	case CurveHilbert:
+		return "hilbert"
+	default:
+		return "curve(?)"
+	}
+}
+
+// axesToTranspose converts coordinates (each bits wide) into the
+// transposed Hilbert index, in place.
+func axesToTranspose(x []uint32, bits int) {
+	if bits < 2 {
+		return // 1-bit curves are identical to Morton
+	}
+	m := uint32(1) << (bits - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < len(x); i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < len(x); i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint32
+	for q := m; q > 1; q >>= 1 {
+		if x[len(x)-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := range x {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes inverts axesToTranspose, in place.
+func transposeToAxes(x []uint32, bits int) {
+	if bits < 2 {
+		return
+	}
+	n := len(x)
+	m := uint32(2) << (bits - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[n-1] >> 1
+	for i := n - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := n - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+}
+
+// hilbert computes the Hilbert index of c over an n-dim grid with the
+// given bits per dimension.
+func hilbert(n, bits int, c [domain.MaxDims]uint32) uint64 {
+	x := make([]uint32, n)
+	copy(x, c[:n])
+	axesToTranspose(x, bits)
+	var t [domain.MaxDims]uint32
+	copy(t[:], x)
+	return morton(n, bits, t)
+}
+
+// unhilbert inverts hilbert.
+func unhilbert(n, bits int, h uint64) [domain.MaxDims]uint32 {
+	t := unmorton(n, bits, h)
+	x := make([]uint32, n)
+	copy(x, t[:n])
+	transposeToAxes(x, bits)
+	var out [domain.MaxDims]uint32
+	copy(out[:], x)
+	return out
+}

@@ -1,0 +1,122 @@
+package domain
+
+import "fmt"
+
+// Decomposition is a regular block decomposition of a global box over a
+// process grid, the layout stencil-style producers (such as S3D) use to
+// assign each rank a contiguous sub-box of the field.
+type Decomposition struct {
+	Global BBox
+	// Procs is the process-grid shape; Procs[i] ranks along dimension i.
+	Procs [MaxDims]int
+	// NRanks is the total number of ranks (product of Procs).
+	NRanks int
+}
+
+// NewDecomposition partitions global over a process grid of shape procs
+// (one entry per dimension of the global box). Every extent must be
+// divisible into at least one cell per rank.
+func NewDecomposition(global BBox, procs []int) (*Decomposition, error) {
+	if global.IsEmpty() {
+		return nil, fmt.Errorf("domain: decomposition of empty box")
+	}
+	if len(procs) < global.NDim {
+		return nil, fmt.Errorf("domain: process grid has %d dims, domain has %d", len(procs), global.NDim)
+	}
+	d := &Decomposition{Global: global, NRanks: 1}
+	for i := 0; i < global.NDim; i++ {
+		if procs[i] < 1 {
+			return nil, fmt.Errorf("domain: non-positive process count %d in dim %d", procs[i], i)
+		}
+		if global.Extent(i) < int64(procs[i]) {
+			return nil, fmt.Errorf("domain: extent %d in dim %d smaller than %d ranks", global.Extent(i), i, procs[i])
+		}
+		d.Procs[i] = procs[i]
+		d.NRanks *= procs[i]
+	}
+	return d, nil
+}
+
+// RankBox returns the sub-box owned by rank, using row-major rank
+// ordering over the process grid. Extents that do not divide evenly give
+// the earlier ranks one extra cell, so the union of all rank boxes is
+// exactly the global box and no boxes overlap.
+func (d *Decomposition) RankBox(rank int) (BBox, error) {
+	if rank < 0 || rank >= d.NRanks {
+		return BBox{}, fmt.Errorf("domain: rank %d out of range [0,%d)", rank, d.NRanks)
+	}
+	coords := d.rankCoords(rank)
+	b := BBox{NDim: d.Global.NDim}
+	for i := 0; i < d.Global.NDim; i++ {
+		lo, hi := blockRange(d.Global.Min[i], d.Global.Extent(i), d.Procs[i], coords[i])
+		b.Min[i] = lo
+		b.Max[i] = hi
+	}
+	return b, nil
+}
+
+// rankCoords converts a flat rank to process-grid coordinates
+// (row-major: last dimension fastest).
+func (d *Decomposition) rankCoords(rank int) [MaxDims]int {
+	var c [MaxDims]int
+	for i := d.Global.NDim - 1; i >= 0; i-- {
+		c[i] = rank % d.Procs[i]
+		rank /= d.Procs[i]
+	}
+	return c
+}
+
+// blockRange computes the [lo,hi] extent of block idx out of n blocks
+// covering [base, base+extent).
+func blockRange(base, extent int64, n, idx int) (int64, int64) {
+	q := extent / int64(n)
+	r := extent % int64(n)
+	var lo int64
+	if int64(idx) < r {
+		lo = int64(idx) * (q + 1)
+	} else {
+		lo = r*(q+1) + (int64(idx)-r)*q
+	}
+	size := q
+	if int64(idx) < r {
+		size = q + 1
+	}
+	return base + lo, base + lo + size - 1
+}
+
+// OwnerRanks returns all ranks whose sub-box intersects q.
+func (d *Decomposition) OwnerRanks(q BBox) []int {
+	var owners []int
+	for r := 0; r < d.NRanks; r++ {
+		b, err := d.RankBox(r)
+		if err != nil {
+			continue
+		}
+		if b.Intersects(q) {
+			owners = append(owners, r)
+		}
+	}
+	return owners
+}
+
+// Subset returns a box covering the given fraction (0,1] of the global
+// domain, shrunk along the last dimension. It reproduces the paper's
+// Case 1 access pattern, where 20%–100% of the data domain is exchanged
+// each timestep.
+func Subset(global BBox, frac float64) BBox {
+	if frac >= 1 || global.IsEmpty() {
+		return global
+	}
+	if frac <= 0 {
+		return BBox{}
+	}
+	b := global
+	last := global.NDim - 1
+	ext := global.Extent(last)
+	n := int64(float64(ext)*frac + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	b.Max[last] = b.Min[last] + n - 1
+	return b
+}

@@ -1,0 +1,272 @@
+package domain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewBBoxValidation(t *testing.T) {
+	if _, err := NewBBox(3, []int64{0, 0, 5}, []int64{1, 1, 4}); err == nil {
+		t.Fatal("inverted extent accepted")
+	}
+	b, err := NewBBox(2, []int64{1, 2}, []int64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NDim != 2 || b.Volume() != 9 {
+		t.Fatalf("got %v volume %d, want 2-D volume 9", b, b.Volume())
+	}
+}
+
+func TestNewBBoxPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for dimension 0")
+		}
+	}()
+	NewBBox(0, nil, nil)
+}
+
+func TestVolumeAndExtent(t *testing.T) {
+	b := Box3(0, 0, 0, 511, 511, 255)
+	if got := b.Volume(); got != 512*512*256 {
+		t.Fatalf("volume = %d", got)
+	}
+	if b.Extent(0) != 512 || b.Extent(2) != 256 {
+		t.Fatalf("extents = %d,%d,%d", b.Extent(0), b.Extent(1), b.Extent(2))
+	}
+	if b.Extent(3) != 0 {
+		t.Fatal("out-of-range extent should be 0")
+	}
+	var empty BBox
+	if empty.Volume() != 0 || !empty.IsEmpty() {
+		t.Fatal("empty box should have volume 0")
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := Box3(0, 0, 0, 9, 9, 9)
+	b := Box3(5, 5, 5, 14, 14, 14)
+	got, ok := a.Intersect(b)
+	if !ok {
+		t.Fatal("boxes should intersect")
+	}
+	want := Box3(5, 5, 5, 9, 9, 9)
+	if !got.Equal(want) {
+		t.Fatalf("intersection = %v, want %v", got, want)
+	}
+	c := Box3(20, 20, 20, 30, 30, 30)
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint boxes reported intersecting")
+	}
+	if a.Intersects(BBox{}) {
+		t.Fatal("intersects empty box")
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := Box3(0, 0, 0, 9, 9, 9)
+	if !a.Contains(Box3(1, 1, 1, 8, 8, 8)) {
+		t.Fatal("inner box not contained")
+	}
+	if a.Contains(Box3(1, 1, 1, 10, 8, 8)) {
+		t.Fatal("overflowing box contained")
+	}
+	if !a.ContainsPoint(Point{5, 5, 5}) || a.ContainsPoint(Point{5, 5, 10}) {
+		t.Fatal("ContainsPoint wrong")
+	}
+}
+
+func TestUnionTranslate(t *testing.T) {
+	a := Box3(0, 0, 0, 4, 4, 4)
+	b := Box3(6, 6, 6, 9, 9, 9)
+	u := a.Union(b)
+	if !u.Equal(Box3(0, 0, 0, 9, 9, 9)) {
+		t.Fatalf("union = %v", u)
+	}
+	if !a.Union(BBox{}).Equal(a) || !(BBox{}).Union(a).Equal(a) {
+		t.Fatal("union with empty box broken")
+	}
+	tr := a.Translate(Point{1, 2, 3})
+	if !tr.Equal(Box3(1, 2, 3, 5, 6, 7)) {
+		t.Fatalf("translate = %v", tr)
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Box3(0, 1, 2, 3, 4, 5).String(); s != "{(0,1,2)..(3,4,5)}" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := (BBox{}).String(); s != "{empty}" {
+		t.Fatalf("empty String = %q", s)
+	}
+}
+
+// Property: intersection is commutative and contained in both operands.
+func TestIntersectionProperties(t *testing.T) {
+	f := func(a0, a1, b0, b1 [3]int8) bool {
+		a := normBox(a0, a1)
+		b := normBox(b0, b1)
+		i1, ok1 := a.Intersect(b)
+		i2, ok2 := b.Intersect(a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return true
+		}
+		return i1.Equal(i2) && a.Contains(i1) && b.Contains(i1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: volume of the union bounds the sum of disjoint volumes.
+func TestUnionVolumeProperty(t *testing.T) {
+	f := func(a0, a1, b0, b1 [3]int8) bool {
+		a := normBox(a0, a1)
+		b := normBox(b0, b1)
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		if !a.Intersects(b) {
+			return u.Volume() >= a.Volume()+b.Volume()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func normBox(lo, hi [3]int8) BBox {
+	var mn, mx [3]int64
+	for i := 0; i < 3; i++ {
+		a, b := int64(lo[i]), int64(hi[i])
+		if a > b {
+			a, b = b, a
+		}
+		mn[i], mx[i] = a, b
+	}
+	return MustBBox(3, mn[:], mx[:])
+}
+
+func TestDecompositionCoversExactly(t *testing.T) {
+	global := Box3(0, 0, 0, 511, 511, 255)
+	d, err := NewDecomposition(global, []int{8, 8, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NRanks != 256 {
+		t.Fatalf("NRanks = %d", d.NRanks)
+	}
+	var total int64
+	for r := 0; r < d.NRanks; r++ {
+		b, err := d.RankBox(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !global.Contains(b) {
+			t.Fatalf("rank %d box %v escapes global", r, b)
+		}
+		total += b.Volume()
+		// Spot-check disjointness against a few neighbours.
+		for o := r + 1; o < r+3 && o < d.NRanks; o++ {
+			ob, _ := d.RankBox(o)
+			if b.Intersects(ob) {
+				t.Fatalf("rank %d and %d overlap: %v vs %v", r, o, b, ob)
+			}
+		}
+	}
+	if total != global.Volume() {
+		t.Fatalf("sum of rank volumes %d != global volume %d", total, global.Volume())
+	}
+}
+
+func TestDecompositionUneven(t *testing.T) {
+	global := MustBBox(1, []int64{0}, []int64{9})
+	d, err := NewDecomposition(global, []int{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int64{4, 3, 3}
+	var next int64
+	for r := 0; r < 3; r++ {
+		b, _ := d.RankBox(r)
+		if b.Min[0] != next || b.Volume() != sizes[r] {
+			t.Fatalf("rank %d box %v, want start %d size %d", r, b, next, sizes[r])
+		}
+		next = b.Max[0] + 1
+	}
+}
+
+func TestDecompositionErrors(t *testing.T) {
+	if _, err := NewDecomposition(BBox{}, []int{1}); err == nil {
+		t.Fatal("empty global accepted")
+	}
+	g := MustBBox(1, []int64{0}, []int64{3})
+	if _, err := NewDecomposition(g, []int{5}); err == nil {
+		t.Fatal("more ranks than cells accepted")
+	}
+	if _, err := NewDecomposition(g, []int{0}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	d, _ := NewDecomposition(g, []int{2})
+	if _, err := d.RankBox(7); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}
+
+func TestOwnerRanks(t *testing.T) {
+	global := Box3(0, 0, 0, 99, 99, 99)
+	d, err := NewDecomposition(global, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := d.OwnerRanks(global)
+	if len(all) != 8 {
+		t.Fatalf("global query found %d owners", len(all))
+	}
+	one := d.OwnerRanks(Box3(0, 0, 0, 10, 10, 10))
+	if len(one) != 1 || one[0] != 0 {
+		t.Fatalf("corner query owners = %v", one)
+	}
+}
+
+func TestSubset(t *testing.T) {
+	g := Box3(0, 0, 0, 511, 511, 255)
+	for _, frac := range []float64{0.2, 0.4, 0.6, 0.8, 1.0} {
+		s := Subset(g, frac)
+		ratio := float64(s.Volume()) / float64(g.Volume())
+		if ratio < frac-0.01 || ratio > frac+0.01 {
+			t.Fatalf("frac %.1f gave ratio %.3f", frac, ratio)
+		}
+	}
+	if !Subset(g, 1.5).Equal(g) {
+		t.Fatal("frac > 1 should clamp to global")
+	}
+	if !Subset(g, -1).IsEmpty() {
+		t.Fatal("non-positive frac should be empty")
+	}
+	tiny := Subset(g, 1e-9)
+	if tiny.Extent(2) != 1 {
+		t.Fatal("tiny frac should keep at least one plane")
+	}
+}
+
+func TestRankCoordsRoundTrip(t *testing.T) {
+	g := Box3(0, 0, 0, 63, 63, 63)
+	d, _ := NewDecomposition(g, []int{4, 2, 8})
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50; i++ {
+		r := rng.Intn(d.NRanks)
+		c := d.rankCoords(r)
+		flat := (c[0]*d.Procs[1]+c[1])*d.Procs[2] + c[2]
+		if flat != r {
+			t.Fatalf("coords round trip failed: %d -> %v -> %d", r, c, flat)
+		}
+	}
+}

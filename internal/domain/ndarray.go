@@ -1,0 +1,75 @@
+package domain
+
+import "fmt"
+
+// This file provides row-major N-dimensional buffer arithmetic: the
+// staging client splits a rank's local array into per-server chunks on
+// put and reassembles query results into the caller's buffer on get,
+// exactly as DataSpaces does with its RDMA scatter/gather lists.
+
+// BufLen returns the byte length of a row-major buffer covering b with
+// the given element size.
+func BufLen(b BBox, elemSize int) int {
+	return int(b.Volume()) * elemSize
+}
+
+// offsetIn returns the row-major element offset of point p within box b.
+// p must lie inside b.
+func offsetIn(b BBox, p Point) int64 {
+	var off int64
+	for i := 0; i < b.NDim; i++ {
+		off = off*b.Extent(i) + (p[i] - b.Min[i])
+	}
+	return off
+}
+
+// CopyRegion copies the cells of region from a row-major buffer covering
+// srcBox into a row-major buffer covering dstBox. region must be
+// contained in both boxes, and all boxes must share dimensionality.
+func CopyRegion(dst []byte, dstBox BBox, src []byte, srcBox BBox, region BBox, elemSize int) {
+	if region.IsEmpty() {
+		return
+	}
+	if !srcBox.Contains(region) || !dstBox.Contains(region) {
+		panic(fmt.Sprintf("domain: CopyRegion region %v not contained in src %v / dst %v", region, srcBox, dstBox))
+	}
+	if len(src) < BufLen(srcBox, elemSize) || len(dst) < BufLen(dstBox, elemSize) {
+		panic("domain: CopyRegion buffer too small")
+	}
+	n := region.NDim
+	rowDim := n - 1
+	rowBytes := int(region.Extent(rowDim)) * elemSize
+
+	// Iterate over every row start (all dims except the last).
+	var p Point
+	for i := 0; i < n; i++ {
+		p[i] = region.Min[i]
+	}
+	for {
+		so := offsetIn(srcBox, p) * int64(elemSize)
+		do := offsetIn(dstBox, p) * int64(elemSize)
+		copy(dst[do:do+int64(rowBytes)], src[so:so+int64(rowBytes)])
+
+		// Advance to the next row: increment dims rowDim-1 .. 0.
+		d := rowDim - 1
+		for d >= 0 {
+			p[d]++
+			if p[d] <= region.Max[d] {
+				break
+			}
+			p[d] = region.Min[d]
+			d--
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// Extract returns a fresh buffer holding the sub region of a row-major
+// buffer covering srcBox.
+func Extract(src []byte, srcBox, sub BBox, elemSize int) []byte {
+	out := make([]byte, BufLen(sub, elemSize))
+	CopyRegion(out, sub, src, srcBox, sub, elemSize)
+	return out
+}

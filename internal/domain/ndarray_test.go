@@ -1,0 +1,114 @@
+package domain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func fillSeq(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestExtractRow(t *testing.T) {
+	// 1-D: trivial slicing.
+	box := MustBBox(1, []int64{0}, []int64{9})
+	data := fillSeq(10)
+	sub := MustBBox(1, []int64{3}, []int64{6})
+	got := Extract(data, box, sub, 1)
+	if !bytes.Equal(got, []byte{3, 4, 5, 6}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestExtract2D(t *testing.T) {
+	// 4x4 grid, extract middle 2x2.
+	box := MustBBox(2, []int64{0, 0}, []int64{3, 3})
+	data := fillSeq(16)
+	sub := MustBBox(2, []int64{1, 1}, []int64{2, 2})
+	got := Extract(data, box, sub, 1)
+	want := []byte{5, 6, 9, 10}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestExtractElemSize(t *testing.T) {
+	box := MustBBox(1, []int64{0}, []int64{3})
+	data := fillSeq(16) // 4 elements of 4 bytes
+	sub := MustBBox(1, []int64{1}, []int64{2})
+	got := Extract(data, box, sub, 4)
+	want := []byte{4, 5, 6, 7, 8, 9, 10, 11}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+}
+
+func TestCopyRegionRoundTrip3D(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	global := Box3(0, 0, 0, 7, 9, 11)
+	src := make([]byte, BufLen(global, 2))
+	rng.Read(src)
+
+	// Scatter the global array into 8 rank chunks, then gather back.
+	d, err := NewDecomposition(global, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunks := make([][]byte, d.NRanks)
+	boxes := make([]BBox, d.NRanks)
+	for r := 0; r < d.NRanks; r++ {
+		boxes[r], _ = d.RankBox(r)
+		chunks[r] = Extract(src, global, boxes[r], 2)
+	}
+	dst := make([]byte, len(src))
+	for r := 0; r < d.NRanks; r++ {
+		CopyRegion(dst, global, chunks[r], boxes[r], boxes[r], 2)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatal("scatter/gather round trip mismatch")
+	}
+}
+
+func TestCopyRegionPartialOverlap(t *testing.T) {
+	srcBox := Box3(0, 0, 0, 3, 3, 3)
+	dstBox := Box3(2, 2, 2, 5, 5, 5)
+	region, ok := srcBox.Intersect(dstBox)
+	if !ok {
+		t.Fatal("no overlap")
+	}
+	src := fillSeq(BufLen(srcBox, 1))
+	dst := make([]byte, BufLen(dstBox, 1))
+	CopyRegion(dst, dstBox, src, srcBox, region, 1)
+	// Check one cell: global point (3,3,3) = src offset 3*16+3*4+3 = 63,
+	// dst offset (1,1,1) in dstBox = 1*16+1*4+1 = 21.
+	if dst[21] != 63 {
+		t.Fatalf("dst[21] = %d, want 63", dst[21])
+	}
+}
+
+func TestCopyRegionPanicsOnEscape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	a := Box3(0, 0, 0, 1, 1, 1)
+	b := Box3(0, 0, 0, 2, 2, 2)
+	CopyRegion(make([]byte, 8), a, make([]byte, 27), b, b, 1)
+}
+
+func TestCopyRegionEmptyRegionNoop(t *testing.T) {
+	a := Box3(0, 0, 0, 1, 1, 1)
+	dst := make([]byte, 8)
+	CopyRegion(dst, a, nil, a, BBox{}, 1)
+	for _, v := range dst {
+		if v != 0 {
+			t.Fatal("empty region modified dst")
+		}
+	}
+}

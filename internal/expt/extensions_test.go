@@ -1,0 +1,149 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/failure"
+)
+
+// TestProactiveCheckpointShrinksRollback: with a perfect predictor, the
+// threatened component checkpoints right before the failure, so it
+// loses at most one step instead of up to a whole period.
+func TestProactiveCheckpointShrinksRollback(t *testing.T) {
+	// Mid-checkpoint-period failure (the periodic checkpoints land at
+	// ~40 s boundaries), so the proactive checkpoint has ground to win.
+	sched := failure.Fixed(failure.Injection{At: 225 * time.Second, Component: "sim"})
+	base := params(ckpt.Uncoordinated)
+	base.Failures = sched
+	plain, err := RunSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro := base
+	pro.Proactive = true
+	pro.PredictRecall = 1
+	proRes, err := RunSim(pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proRes.Rollbacks == 0 {
+		t.Fatal("no rollback despite failure")
+	}
+	if proRes.TotalTime >= plain.TotalTime {
+		t.Fatalf("proactive (%v) not faster than plain (%v)", proRes.TotalTime, plain.TotalTime)
+	}
+}
+
+func TestProactiveZeroRecallMatchesPlain(t *testing.T) {
+	sched := failure.Fixed(failure.Injection{At: 250 * time.Second, Component: "sim"})
+	base := params(ckpt.Uncoordinated)
+	base.Failures = sched
+	plain, err := RunSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pro := base
+	pro.Proactive = true
+	pro.PredictRecall = 1e-12 // effectively zero, but a legal (0,1] value
+	proRes, err := RunSim(pro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proRes.TotalTime != plain.TotalTime {
+		t.Fatalf("predictor that never fires changed the run: %v vs %v", proRes.TotalTime, plain.TotalTime)
+	}
+}
+
+// TestMultiLevelCheapensCheckpoints: with most checkpoints on fast
+// node-local storage, failure-free checkpoint time drops.
+func TestMultiLevelCheapensCheckpoints(t *testing.T) {
+	base := noFailures(params(ckpt.Uncoordinated))
+	plain, err := RunSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := base
+	ml.MultiLevel = true
+	ml.L2Every = 4
+	mlRes, err := RunSim(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlRes.CheckpointTime >= plain.CheckpointTime {
+		t.Fatalf("multi-level checkpoint time %v not below plain %v", mlRes.CheckpointTime, plain.CheckpointTime)
+	}
+}
+
+// TestMultiLevelNodeLossRollsBackFurther: a node loss destroys L1 and
+// must recover from the older L2 checkpoint — costlier than a process
+// failure recovered from L1.
+func TestMultiLevelNodeLossRollsBackFurther(t *testing.T) {
+	sched := failure.Fixed(failure.Injection{At: 250 * time.Second, Component: "sim"})
+	run := func(nodeLossFrac float64) time.Duration {
+		p := params(ckpt.Uncoordinated)
+		p.Failures = sched
+		p.MultiLevel = true
+		p.L2Every = 3
+		p.NodeLossFrac = nodeLossFrac
+		res, err := RunSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rollbacks == 0 {
+			t.Fatal("no rollback")
+		}
+		return res.TotalTime
+	}
+	procOnly := run(1e-12) // effectively never lose the node
+	nodeLoss := run(1.0)   // always lose the node
+	if nodeLoss <= procOnly {
+		t.Fatalf("node loss (%v) not costlier than process failure (%v)", nodeLoss, procOnly)
+	}
+}
+
+// TestMultiLevelBeatsPlainUnderFailures: the combination of cheap L1
+// checkpoints and L1 recovery wins end to end for process failures.
+func TestMultiLevelBeatsPlainUnderFailures(t *testing.T) {
+	sched := failure.Fixed(
+		failure.Injection{At: 150 * time.Second, Component: "sim"},
+		failure.Injection{At: 300 * time.Second, Component: "ana"},
+	)
+	base := params(ckpt.Uncoordinated)
+	base.Failures = sched
+	plain, err := RunSim(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml := base
+	ml.MultiLevel = true
+	ml.NodeLossFrac = 1e-12
+	mlRes, err := RunSim(ml)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlRes.TotalTime >= plain.TotalTime {
+		t.Fatalf("multi-level (%v) not faster than plain (%v) under process failures", mlRes.TotalTime, plain.TotalTime)
+	}
+}
+
+func TestExtensionsDeterministic(t *testing.T) {
+	p := params(ckpt.Uncoordinated)
+	p.Proactive = true
+	p.PredictRecall = 0.5
+	p.MultiLevel = true
+	p.NodeLossFrac = 0.5
+	p.Seed = 42
+	a, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("nondeterministic extension runs:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"time"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/cluster"
+)
+
+// Fig10Row is one scale point of the scalability study: total workflow
+// execution time per scheme (mean over seeds) and the best-case
+// uncoordinated improvement, the paper's "up to X%" number.
+type Fig10Row struct {
+	Scale     string
+	Cores     int
+	Failures  int
+	MTBF      time.Duration
+	Co        time.Duration
+	Un        time.Duration
+	Hy        time.Duration
+	In        time.Duration
+	MeanImpUn float64 // mean Un-vs-Co improvement over seeds, percent
+	BestImpUn float64 // best ("up to") improvement, percent
+}
+
+// Fig10 reproduces Figure 10: total workflow execution time under 1–3
+// failures at the five Table III scales (704..11264 cores), per scheme.
+func Fig10(seeds []int64) ([]Fig10Row, error) {
+	mach := cluster.Cori()
+	var rows []Fig10Row
+	for _, w := range cluster.TableIII() {
+		row := Fig10Row{
+			Scale:    w.Name,
+			Cores:    w.TotalCores(),
+			Failures: w.NFailures,
+			MTBF:     w.MTBF,
+		}
+		sums := map[ckpt.Scheme]time.Duration{}
+		var impSum, impBest float64
+		for _, seed := range seeds {
+			perScheme := map[ckpt.Scheme]time.Duration{}
+			for _, s := range []ckpt.Scheme{ckpt.Coordinated, ckpt.Uncoordinated, ckpt.Hybrid, ckpt.Individual} {
+				res, err := RunSim(SimParams{Workflow: w, Machine: mach, Scheme: s, Seed: seed})
+				if err != nil {
+					return nil, err
+				}
+				perScheme[s] = res.TotalTime
+				sums[s] += res.TotalTime
+			}
+			imp := 1 - float64(perScheme[ckpt.Uncoordinated])/float64(perScheme[ckpt.Coordinated])
+			impSum += imp
+			if imp > impBest {
+				impBest = imp
+			}
+		}
+		n := time.Duration(len(seeds))
+		row.Co = sums[ckpt.Coordinated] / n
+		row.Un = sums[ckpt.Uncoordinated] / n
+		row.Hy = sums[ckpt.Hybrid] / n
+		row.In = sums[ckpt.Individual] / n
+		row.MeanImpUn = impSum / float64(len(seeds)) * 100
+		row.BestImpUn = impBest * 100
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

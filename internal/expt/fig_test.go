@@ -1,0 +1,227 @@
+package expt
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallLive() LiveParams {
+	p := DefaultLiveParams()
+	// Shrink further for unit tests.
+	p.Steps = 10
+	return p
+}
+
+func TestFig9Case1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live staging sweep")
+	}
+	rows, err := Fig9Case1(smallLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Logging costs something but not multiples.
+		if r.LogWrite < r.DsWrite {
+			t.Logf("note: %s logged write faster than Ds (%v < %v); noise at this scale", r.Label, r.LogWrite, r.DsWrite)
+		}
+		if r.WriteOverheadPct > 100 {
+			t.Fatalf("%s: write overhead %.1f%% implausible", r.Label, r.WriteOverheadPct)
+		}
+		// Logged staging retains replay versions: memory strictly higher.
+		if r.LogMem <= r.DsMem {
+			t.Fatalf("%s: logging did not increase memory (%d <= %d)", r.Label, r.LogMem, r.DsMem)
+		}
+		if r.MemOverheadPct > 400 {
+			t.Fatalf("%s: memory overhead %.0f%% implausible", r.Label, r.MemOverheadPct)
+		}
+	}
+	// Larger subsets move more data: Ds write time grows monotonically.
+	if rows[4].DsWrite <= rows[0].DsWrite {
+		t.Fatalf("write time did not grow with subset size: %v vs %v", rows[0].DsWrite, rows[4].DsWrite)
+	}
+	// Memory scales with subset size on both paths.
+	if rows[4].DsMem <= rows[0].DsMem || rows[4].LogMem <= rows[0].LogMem {
+		t.Fatal("memory did not grow with subset size")
+	}
+}
+
+func TestFig9Case2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live staging sweep")
+	}
+	rows, err := Fig9Case2(smallLive())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	// The paper's key claim: logging memory overhead grows with the
+	// checkpoint period (longer event queues, later GC).
+	if rows[4].MemOverheadPct <= rows[0].MemOverheadPct {
+		t.Fatalf("memory overhead did not grow with period: %.0f%% (2ts) vs %.0f%% (6ts)",
+			rows[0].MemOverheadPct, rows[4].MemOverheadPct)
+	}
+}
+
+func TestFig9eShape(t *testing.T) {
+	rows, err := Fig9e([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	byName := map[string]Fig9eRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+	ds := byName["Ds (failure-free)"]
+	co := byName["coordinated +1f"]
+	un := byName["uncoordinated +1f"]
+	hy := byName["hybrid +1f"]
+	in := byName["individual +1f"]
+	if ds.MeanTotal >= co.MeanTotal {
+		t.Fatal("failure-free baseline not fastest")
+	}
+	// Paper's ordering: Un ~ Hy ~ In <= Co.
+	if un.MeanTotal > co.MeanTotal || hy.MeanTotal > co.MeanTotal {
+		t.Fatalf("Un/Hy slower than Co: %v %v vs %v", un.MeanTotal, hy.MeanTotal, co.MeanTotal)
+	}
+	if un.VsCoordPct < 0.3 || un.VsCoordPct > 15 {
+		t.Fatalf("Un improvement %.2f%% outside plausible band (paper: ~3%%)", un.VsCoordPct)
+	}
+	// In is the no-logging lower bound, but its producer replay
+	// re-writes data the log would have suppressed, so allow a hair of
+	// slack either way.
+	if float64(in.MeanTotal) > float64(un.MeanTotal)*1.01 {
+		t.Fatalf("In (%v) more than 1%% slower than Un (%v)", in.MeanTotal, un.MeanTotal)
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy multi-scale sweep")
+	}
+	rows, err := Fig10([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Un > r.Co {
+			t.Fatalf("scale %s: Un (%v) slower than Co (%v)", r.Scale, r.Un, r.Co)
+		}
+		if r.BestImpUn < r.MeanImpUn {
+			t.Fatalf("scale %s: best < mean", r.Scale)
+		}
+		if i > 0 && r.Cores <= rows[i-1].Cores {
+			t.Fatal("scales not increasing")
+		}
+	}
+	// The headline trend: best-case improvement grows from the smallest
+	// to the largest scale (paper: 7.89% -> 13.48%).
+	if rows[4].BestImpUn <= rows[0].BestImpUn {
+		t.Fatalf("best improvement did not grow with scale: %.2f%% -> %.2f%%",
+			rows[0].BestImpUn, rows[4].BestImpUn)
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	var sb strings.Builder
+	tab := &Table{Title: "demo", Headers: []string{"a", "bee"}}
+	tab.Add("x", 3.14159)
+	tab.Add("longer-cell", 2.0)
+	tab.Write(&sb)
+	out := sb.String()
+	for _, want := range []string{"== demo ==", "a", "bee", "3.14", "longer-cell"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if MiB(1<<20) != "1.00MiB" {
+		t.Fatalf("MiB = %s", MiB(1<<20))
+	}
+}
+
+func TestFig9eCase2Shape(t *testing.T) {
+	rows, err := Fig9eCase2([]int64{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Uncoordinated > r.Coordinated {
+			t.Fatalf("%s: Un slower than Co", r.Label)
+		}
+		if r.ImprovementPct < 0 || r.ImprovementPct > 20 {
+			t.Fatalf("%s: improvement %.2f%% implausible", r.Label, r.ImprovementPct)
+		}
+	}
+}
+
+func TestReportWriters(t *testing.T) {
+	var sb strings.Builder
+	live := []LiveRow{{Label: "20% subset", DsWrite: 20 * 1e6, LogWrite: 22 * 1e6, WriteOverheadPct: 10, DsMem: 1 << 20, LogMem: 2 << 20, MemOverheadPct: 100}}
+	WriteCase1(&sb, live)
+	WriteCase2(&sb, live)
+	WriteFig9e(&sb, []Fig9eRow{{Scheme: "coordinated +1f", MeanTotal: 433 * 1e9}},
+		[]LiveRowF{{Label: "2ts", Coordinated: 440 * 1e9, Uncoordinated: 420 * 1e9, ImprovementPct: 4.5}})
+	WriteFig10(&sb, []Fig10Row{{Scale: "704-cores", Cores: 704, Failures: 1, MTBF: 600 * 1e9, Co: 441 * 1e9, Un: 427 * 1e9, MeanImpUn: 3.2, BestImpUn: 12.5}})
+	out := sb.String()
+	for _, want := range []string{"Fig 9(a)+(c)", "Fig 9(b)+(d)", "Fig 9(e)", "Fig 10", "704-cores", "20% subset", "22.00ms", "1.00MiB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Duration formats: >= 1s, >= 1ms, and the time.Duration fallback.
+	if fmtDur(1500*1e6) != "1.5s" {
+		t.Fatalf("fmtDur = %s", fmtDur(1500*1e6))
+	}
+	if fmtDur(2*1e6) != "2.00ms" {
+		t.Fatalf("fmtDur = %s", fmtDur(2*1e6))
+	}
+	if fmtDur(900) != "900ns" {
+		t.Fatalf("fmtDur = %s", fmtDur(900))
+	}
+}
+
+func TestMTBFSweepShape(t *testing.T) {
+	rows, err := MTBFSweep([]int64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Un > r.Co {
+			t.Fatalf("MTBF %v: Un slower than Co", r.MTBF)
+		}
+		if i > 0 && r.MTBF >= rows[i-1].MTBF {
+			t.Fatal("MTBFs not decreasing")
+		}
+	}
+	// More frequent failures widen the gap: the 4-failure point must
+	// beat the 1-failure point.
+	if rows[len(rows)-1].ImprovementPct <= rows[0].ImprovementPct {
+		t.Fatalf("improvement did not grow with failure rate: %.2f%% -> %.2f%%",
+			rows[0].ImprovementPct, rows[len(rows)-1].ImprovementPct)
+	}
+	if rows[len(rows)-1].Failures <= rows[0].Failures {
+		t.Fatal("failure counts did not grow across the sweep")
+	}
+	var sb strings.Builder
+	WriteSweep(&sb, rows)
+	if !strings.Contains(sb.String(), "MTBF sweep") {
+		t.Fatal("sweep table missing title")
+	}
+}

@@ -1,0 +1,78 @@
+package expt
+
+import (
+	"gospaces/internal/sim"
+)
+
+// latch is the virtual-time counterpart of workflow.Coupler: a set of
+// once-open gates keyed by timestep. The simulation model uses two —
+// "produced" and "consumed" — to sequence the coupling cycle between
+// the producer and consumer processes. Marks are idempotent; gates can
+// be re-armed past a rollback point for coordinated recovery.
+//
+// The DES kernel runs one process at a time, so no locking is needed.
+type latch struct {
+	env     *sim.Env
+	marked  map[int64]bool
+	mbs     map[int64]*sim.Mailbox[struct{}]
+	waiting map[int64]int
+}
+
+func newLatch(env *sim.Env) *latch {
+	return &latch{
+		env:     env,
+		marked:  make(map[int64]bool),
+		mbs:     make(map[int64]*sim.Mailbox[struct{}]),
+		waiting: make(map[int64]int),
+	}
+}
+
+func (l *latch) mb(ts int64) *sim.Mailbox[struct{}] {
+	m, ok := l.mbs[ts]
+	if !ok {
+		m = sim.NewMailbox[struct{}](l.env)
+		l.mbs[ts] = m
+	}
+	return m
+}
+
+// Wait blocks p until ts is marked. Waiting for ts <= 0 or an already
+// marked ts returns immediately. Interruptible.
+func (l *latch) Wait(p *sim.Proc, ts int64) error {
+	if ts <= 0 || l.marked[ts] {
+		return nil
+	}
+	l.waiting[ts]++
+	_, err := l.mb(ts).Recv(p)
+	l.waiting[ts]--
+	return err
+}
+
+// Mark opens the gate for ts, waking all current waiters.
+func (l *latch) Mark(ts int64) {
+	if l.marked[ts] {
+		return
+	}
+	l.marked[ts] = true
+	n := l.waiting[ts]
+	for i := 0; i < n; i++ {
+		l.mb(ts).Send(struct{}{})
+	}
+}
+
+// Reset re-arms every gate strictly after ts (coordinated rollback).
+// Stale queued tokens are drained so re-armed gates block again.
+func (l *latch) Reset(ts int64) {
+	for k := range l.marked {
+		if k > ts {
+			delete(l.marked, k)
+			if m, ok := l.mbs[k]; ok {
+				for {
+					if _, ok := m.TryRecv(); !ok {
+						break
+					}
+				}
+			}
+		}
+	}
+}

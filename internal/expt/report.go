@@ -1,0 +1,146 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table renders rows of columns with a header, aligned for terminals —
+// the wfbench output format.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// Add appends a row; values are rendered with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case time.Duration:
+			row[i] = fmtDur(v)
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// fmtDur renders durations compactly (e.g. "431.2s").
+func fmtDur(d time.Duration) string {
+	if d >= time.Second {
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+	if d >= time.Millisecond {
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	}
+	return d.String()
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// MiB renders a byte count in MiB with two decimals.
+func MiB(b int64) string {
+	return fmt.Sprintf("%.2fMiB", float64(b)/(1<<20))
+}
+
+// WriteCase1 renders the Figure 9(a)+(c) rows.
+func WriteCase1(w io.Writer, rows []LiveRow) {
+	t := &Table{
+		Title:   "Fig 9(a)+(c): Case 1 — subsets of the data domain",
+		Headers: []string{"subset", "Ds write", "+log write", "write +%", "Ds mem", "+log mem", "mem +%"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, r.DsWrite, r.LogWrite, r.WriteOverheadPct, MiB(r.DsMem), MiB(r.LogMem), r.MemOverheadPct)
+	}
+	t.Write(w)
+}
+
+// WriteCase2 renders the Figure 9(b)+(d) rows.
+func WriteCase2(w io.Writer, rows []LiveRow) {
+	t := &Table{
+		Title:   "Fig 9(b)+(d): Case 2 — checkpoint periods 2..6 ts",
+		Headers: []string{"period", "Ds write", "+log write", "write +%", "Ds mem", "+log mem", "mem +%"},
+	}
+	for _, r := range rows {
+		t.Add(r.Label, r.DsWrite, r.LogWrite, r.WriteOverheadPct, MiB(r.DsMem), MiB(r.LogMem), r.MemOverheadPct)
+	}
+	t.Write(w)
+}
+
+// WriteFig9e renders the Figure 9(e) scheme comparison.
+func WriteFig9e(w io.Writer, rows []Fig9eRow, case2 []LiveRowF) {
+	t := &Table{
+		Title:   "Fig 9(e): total workflow execution time, Table II scale, 1 failure",
+		Headers: []string{"scheme", "mean total", "vs Co %", "rollbacks"},
+	}
+	for _, r := range rows {
+		t.Add(r.Scheme, r.MeanTotal, r.VsCoordPct, r.MeanRollback)
+	}
+	t.Write(w)
+	t2 := &Table{
+		Title:   "Fig 9(e) Case 2 series: Un improvement over Co by checkpoint period",
+		Headers: []string{"period", "Co total", "Un total", "improvement %"},
+	}
+	for _, r := range case2 {
+		t2.Add(r.Label, r.Coordinated, r.Uncoordinated, r.ImprovementPct)
+	}
+	t2.Write(w)
+}
+
+// WriteFig10 renders the scalability study.
+func WriteFig10(w io.Writer, rows []Fig10Row) {
+	t := &Table{
+		Title:   "Fig 10: total workflow execution time at scale (means over seeds)",
+		Headers: []string{"scale", "cores", "failures", "MTBF", "Co", "Un", "Hy", "In", "mean imp %", "up to %"},
+	}
+	for _, r := range rows {
+		t.Add(r.Scale, r.Cores, r.Failures, r.MTBF, r.Co, r.Un, r.Hy, r.In, r.MeanImpUn, r.BestImpUn)
+	}
+	t.Write(w)
+}

@@ -1,0 +1,558 @@
+// Package expt is the experiment harness: it regenerates every table
+// and figure of the paper's evaluation (§IV). Figures 9(a)–(d) run the
+// live staging service in-process and measure real write response time
+// and memory; Figure 9(e) and Figure 10 run the same crash-consistency
+// protocol (internal/wlog) on the virtual-time simulator at the paper's
+// Cori scales, so "who wins and by how much" is produced by protocol
+// behaviour and queueing, not hard-coded.
+package expt
+
+import (
+	"fmt"
+	"time"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/cluster"
+	"gospaces/internal/domain"
+	"gospaces/internal/failure"
+	"gospaces/internal/pfs"
+	"gospaces/internal/sim"
+	"gospaces/internal/wlog"
+)
+
+// SimParams configures one virtual-time workflow run.
+type SimParams struct {
+	Workflow cluster.Workflow
+	Machine  cluster.Machine
+	Scheme   ckpt.Scheme
+	// LogWriteFactor inflates staging write time on the logged path;
+	// it is the ratio Figure 9(a)/(b) measures on the live servers
+	// (~1.10–1.15 in the paper).
+	LogWriteFactor float64
+	// Seed drives the failure schedule.
+	Seed int64
+	// Failures overrides the schedule derived from Workflow
+	// (MTBF/NFailures) when non-nil.
+	Failures failure.Schedule
+
+	// Proactive enables proactive checkpointing (paper §VI future
+	// work, after Bouguerra et al.): a failure predictor warns ahead of
+	// PredictRecall of the failures, and the threatened component takes
+	// an extra checkpoint right before the hit, shrinking the rollback.
+	Proactive bool
+	// PredictRecall is the fraction of failures the predictor catches
+	// (default 1.0).
+	PredictRecall float64
+
+	// MultiLevel enables multi-level checkpointing (Moody et al.):
+	// checkpoints go to fast node-local storage (L1) except every
+	// L2Every-th, which also goes to the PFS. Process failures recover
+	// from L1; node losses destroy L1 and fall back to the last L2
+	// checkpoint.
+	MultiLevel bool
+	// L1Bandwidth is the aggregate node-local checkpoint bandwidth
+	// (default 8x the PFS share).
+	L1Bandwidth float64
+	// L2Every directs every n-th checkpoint to the PFS (default 4).
+	L2Every int
+	// NodeLossFrac is the fraction of failures that destroy node-local
+	// state (default 0.2).
+	NodeLossFrac float64
+}
+
+// SimResult reports one virtual-time run.
+type SimResult struct {
+	TotalTime       time.Duration
+	SimDone         time.Duration
+	AnaDone         time.Duration
+	Failures        int
+	Rollbacks       int
+	ReplicaSwitches int
+	SuppressedPuts  int
+	ReplayGets      int
+	CheckpointTime  time.Duration
+	RestartTime     time.Duration
+}
+
+type simComponent struct {
+	name   string
+	cores  int
+	period int64
+	// producer components write the coupled data; consumers read it.
+	producer bool
+	// replicated components mask failures by replica takeover.
+	replicated bool
+	logged     bool
+
+	proc       *sim.Proc
+	lastCkpt   int64
+	lastL2Ckpt int64
+	ckptCount  int
+	curTS      int64
+	doneAt     time.Duration
+	done       bool
+	// nodeLost is set by the injector when the pending failure also
+	// destroyed the component's node-local checkpoints.
+	nodeLost bool
+}
+
+// model is one virtual-time workflow instance.
+type model struct {
+	p        SimParams
+	env      *sim.Env
+	stageIn  *sim.Bandwidth // staging ingest (writes)
+	stageOut *sim.Bandwidth // staging egress (reads)
+	pfs      *pfs.SimPFS
+	log      *wlog.Log
+	produced *latch
+	consumed *latch
+	sim, ana *simComponent
+	// barrier mailboxes for the coordinated double-barrier.
+	barA, barB *sim.Mailbox[struct{}]
+
+	res SimResult
+
+	// coordRestart is the last globally completed coordinated
+	// checkpoint, set by the injector before a coordinated rollback.
+	coordRestart int64
+
+	// predictions holds the failure times the proactive predictor will
+	// warn about, per component.
+	predictions map[string][]time.Duration
+	// nodeLossRng decides which failures destroy node-local storage.
+	nodeLossRng *splitRng
+
+	coupleBox domain.BBox
+	stepBytes int64
+}
+
+// RunSim executes one virtual-time workflow and returns its result.
+func RunSim(p SimParams) (SimResult, error) {
+	if p.LogWriteFactor <= 0 {
+		p.LogWriteFactor = 1.12
+	}
+	if p.PredictRecall <= 0 || p.PredictRecall > 1 {
+		p.PredictRecall = 1
+	}
+	if p.L1Bandwidth <= 0 {
+		p.L1Bandwidth = p.Machine.PFSBandwidth * 8
+	}
+	if p.L2Every <= 0 {
+		p.L2Every = 4
+	}
+	if p.NodeLossFrac < 0 || p.NodeLossFrac > 1 {
+		p.NodeLossFrac = 0.2
+	}
+	w := p.Workflow
+	env := sim.NewEnv()
+	m := &model{
+		p:        p,
+		env:      env,
+		stageIn:  sim.NewBandwidth(env, p.Machine.StagingBWPerServer*float64(w.StagingCores), p.Machine.StagingLatency),
+		stageOut: sim.NewBandwidth(env, p.Machine.StagingBWPerServer*float64(w.StagingCores), p.Machine.StagingLatency),
+		pfs:      pfs.NewSimPFS(env, p.Machine.PFSBandwidth, p.Machine.PFSLatency),
+		log:      wlog.New(),
+		produced: newLatch(env),
+		consumed: newLatch(env),
+		barA:     sim.NewMailbox[struct{}](env),
+		barB:     sim.NewMailbox[struct{}](env),
+	}
+	m.coupleBox = domain.Subset(w.Global, w.SubsetFrac)
+	m.stepBytes = w.BytesPerStep()
+	m.nodeLossRng = newSplitRng(p.Seed + 17)
+
+	logged := p.Scheme.Logged()
+	m.sim = &simComponent{
+		name: "sim", cores: w.SimCores, period: int64(w.SimPeriod),
+		producer: true, logged: logged,
+	}
+	m.ana = &simComponent{
+		name: "ana", cores: w.AnalyticCores, period: int64(w.AnaPeriod),
+		logged:     logged,
+		replicated: p.Scheme == ckpt.Hybrid,
+	}
+	if p.Scheme == ckpt.Coordinated {
+		m.sim.period = int64(w.CoordPeriod)
+		m.ana.period = int64(w.CoordPeriod)
+	}
+
+	m.sim.proc = env.Spawn("sim", func(proc *sim.Proc) { m.componentLoop(proc, m.sim) })
+	m.ana.proc = env.Spawn("ana", func(proc *sim.Proc) { m.componentLoop(proc, m.ana) })
+
+	sched := p.Failures
+	if sched == nil && w.NFailures > 0 {
+		base := time.Duration(w.Steps) * (p.Machine.ComputePerStep + m.stageIn.TransferTime(m.stepBytes))
+		var err error
+		sched, err = failure.Exponential(p.Seed, w.MTBF, w.NFailures, base, []failure.Target{
+			{Component: "sim", Ranks: w.SimCores},
+			{Component: "ana", Ranks: w.AnalyticCores},
+		})
+		if err != nil {
+			return SimResult{}, err
+		}
+	}
+	if len(sched) > 0 {
+		if p.Proactive {
+			m.predictions = predict(sched, p.PredictRecall, p.Seed)
+		}
+		env.Spawn("injector", func(proc *sim.Proc) { m.injectorLoop(proc, sched) })
+	}
+
+	if err := env.Run(0); err != nil {
+		return SimResult{}, fmt.Errorf("expt: simulation: %w", err)
+	}
+	m.res.TotalTime = maxDur(m.sim.doneAt, m.ana.doneAt)
+	m.res.SimDone = m.sim.doneAt
+	m.res.AnaDone = m.ana.doneAt
+	return m.res, nil
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// componentLoop drives one component through all timesteps, entering
+// recovery whenever the failure injector interrupts it.
+func (m *model) componentLoop(proc *sim.Proc, c *simComponent) {
+	ts := int64(1)
+	for ts <= int64(m.p.Workflow.Steps) {
+		c.curTS = ts
+		if err := m.step(proc, c, ts); err != nil {
+			ts = m.recover(proc, c)
+			continue
+		}
+		ts++
+	}
+	c.doneAt = proc.Now()
+	c.done = true
+}
+
+// step executes one coupling cycle for the component. Any returned
+// error is an interrupt (injected failure).
+func (m *model) step(proc *sim.Proc, c *simComponent, ts int64) error {
+	mach := m.p.Machine
+	if c.producer {
+		if err := proc.Sleep(mach.ComputePerStep); err != nil {
+			return err
+		}
+		// Throttle: the consumer must have read the previous step
+		// (write-immediately-followed-by-read coupling).
+		if err := m.consumed.Wait(proc, ts-1); err != nil {
+			return err
+		}
+		if c.logged {
+			suppress, err := m.log.BeginPut(c.name, "field", ts, m.coupleBox)
+			if err != nil {
+				return err
+			}
+			if suppress {
+				// Duplicate write from rollback re-execution: the
+				// request is acknowledged without moving the payload.
+				m.res.SuppressedPuts++
+				if err := proc.Sleep(mach.StagingLatency); err != nil {
+					return err
+				}
+			} else {
+				cost := time.Duration(float64(m.stageIn.TransferTime(m.stepBytes)) * m.p.LogWriteFactor)
+				if err := m.transfer(proc, m.stageIn, cost); err != nil {
+					return err
+				}
+				m.log.CommitPut(c.name, "field", ts, m.coupleBox, m.stepBytes)
+			}
+		} else {
+			if err := m.stageIn.Transfer(proc, m.stepBytes); err != nil {
+				return err
+			}
+		}
+		m.produced.Mark(ts)
+	} else {
+		if err := m.produced.Wait(proc, ts); err != nil {
+			return err
+		}
+		if c.logged {
+			_, fromLog, err := m.log.BeginGet(c.name, "field", ts, m.coupleBox)
+			if err != nil {
+				return err
+			}
+			if fromLog {
+				m.res.ReplayGets++
+			}
+			if err := m.stageOut.Transfer(proc, m.stepBytes); err != nil {
+				return err
+			}
+			if !fromLog {
+				m.log.CommitGet(c.name, "field", ts, m.coupleBox, m.stepBytes)
+			}
+		} else {
+			if err := m.stageOut.Transfer(proc, m.stepBytes); err != nil {
+				return err
+			}
+		}
+		if err := proc.Sleep(mach.AnalyticPerStep); err != nil {
+			return err
+		}
+		m.consumed.Mark(ts)
+	}
+
+	if m.p.Proactive && !c.replicated && m.proactiveDue(c, proc.Now()) && c.lastCkpt < ts {
+		// Predictor warns of an imminent failure: checkpoint now so the
+		// rollback (if the prediction holds) loses at most this step.
+		if err := m.writeCheckpoint(proc, c, ts); err != nil {
+			return err
+		}
+	}
+	if !c.replicated && c.period > 0 && ts%c.period == 0 && c.lastCkpt < ts {
+		if m.p.Scheme == ckpt.Coordinated {
+			// Double barrier around the global checkpoint.
+			if err := m.coordBarrier(proc, c); err != nil {
+				return err
+			}
+		}
+		if err := m.writeCheckpoint(proc, c, ts); err != nil {
+			return err
+		}
+		if m.p.Scheme == ckpt.Coordinated {
+			if err := m.coordBarrier(proc, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeCheckpoint persists the component state, honoring the
+// multi-level policy, and advances the checkpoint anchors.
+func (m *model) writeCheckpoint(proc *sim.Proc, c *simComponent, ts int64) error {
+	w := m.p.Workflow
+	start := proc.Now()
+	ckptBytes := int64(c.cores) * w.CheckpointBytesPerCore
+	c.ckptCount++
+	toL2 := !m.p.MultiLevel || c.ckptCount%m.p.L2Every == 0
+	if m.p.MultiLevel {
+		// L1: node-local write at local aggregate bandwidth, always.
+		if err := proc.Sleep(time.Duration(float64(ckptBytes) / m.p.L1Bandwidth * float64(time.Second))); err != nil {
+			return err
+		}
+	}
+	if toL2 {
+		if err := m.pfs.WriteCheckpoint(proc, ckptBytes); err != nil {
+			return err
+		}
+		c.lastL2Ckpt = ts
+	}
+	m.res.CheckpointTime += proc.Now() - start
+	if c.logged {
+		m.log.OnCheckpoint(c.name)
+	}
+	c.lastCkpt = ts
+	return nil
+}
+
+// proactiveDue reports whether a failure is predicted to hit c within
+// the next coupling cycle, warranting an extra checkpoint now.
+func (m *model) proactiveDue(c *simComponent, now time.Duration) bool {
+	horizon := now + m.p.Machine.ComputePerStep + m.p.Machine.AnalyticPerStep
+	for _, t := range m.predictions[c.name] {
+		if t > now && t <= horizon {
+			return true
+		}
+	}
+	return false
+}
+
+// predict selects the failures the proactive predictor warns about.
+func predict(sched failure.Schedule, recall float64, seed int64) map[string][]time.Duration {
+	rng := newSplitRng(seed)
+	out := make(map[string][]time.Duration)
+	for _, inj := range sched {
+		if rng.float() <= recall {
+			out[inj.Component] = append(out[inj.Component], inj.At)
+		}
+	}
+	return out
+}
+
+// splitRng is a tiny deterministic PRNG (the sim kernel forbids
+// math/rand's global state for resumability; this keeps prediction
+// sampling self-contained).
+type splitRng struct{ x uint64 }
+
+func newSplitRng(seed int64) *splitRng { return &splitRng{x: uint64(seed)*2654435769 + 1} }
+
+func (r *splitRng) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	z := r.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *splitRng) float() float64 { return float64(r.next()>>11) / float64(1<<53) }
+
+// transfer moves a pre-computed cost through a bandwidth pipe (used
+// when the logged path inflates the service time).
+func (m *model) transfer(proc *sim.Proc, bw *sim.Bandwidth, cost time.Duration) error {
+	// Acquire the pipe for the inflated duration by issuing a zero-byte
+	// transfer (latency only) followed by the remaining sleep while
+	// holding nothing — an approximation that keeps FIFO queueing on
+	// the pipe for the base transfer and adds the logging overhead as
+	// local processing time.
+	base := cost - m.stageIn.TransferTime(0)
+	if base < 0 {
+		base = 0
+	}
+	if err := bw.Transfer(proc, 0); err != nil {
+		return err
+	}
+	return proc.Sleep(base)
+}
+
+// coordBarrier synchronizes the two components (two-party rendezvous).
+func (m *model) coordBarrier(proc *sim.Proc, c *simComponent) error {
+	mine, theirs := m.barA, m.barB
+	partner := m.ana
+	if !c.producer {
+		mine, theirs = m.barB, m.barA
+		partner = m.sim
+	}
+	theirs.Send(struct{}{})
+	if partner.done {
+		return nil
+	}
+	_, err := mine.Recv(proc)
+	return err
+}
+
+// recover handles a fail-stop failure of the component. It loops until
+// a recovery completes without being interrupted again, and returns the
+// timestep execution resumes from.
+func (m *model) recover(proc *sim.Proc, c *simComponent) int64 {
+	mach := m.p.Machine
+	w := m.p.Workflow
+	for {
+		start := proc.Now()
+		if err := proc.Sleep(mach.DetectDelay); err != nil {
+			continue
+		}
+		if c.replicated {
+			// Replica takeover: no rollback, no replay; resume at the
+			// interrupted step (paper §III-B).
+			m.res.ReplicaSwitches++
+			m.res.Failures++
+			return c.curTS
+		}
+		// Read the checkpoint back: node-local L1 when it survived,
+		// otherwise the last PFS (L2) checkpoint.
+		ckptBytes := int64(c.cores) * w.CheckpointBytesPerCore
+		restartFrom := c.lastCkpt
+		if m.p.MultiLevel && !c.nodeLost {
+			if err := proc.Sleep(time.Duration(float64(ckptBytes) / m.p.L1Bandwidth * float64(time.Second))); err != nil {
+				continue
+			}
+		} else {
+			if m.p.MultiLevel && c.nodeLost {
+				restartFrom = c.lastL2Ckpt
+			}
+			if err := m.pfs.ReadCheckpoint(proc, ckptBytes); err != nil {
+				continue
+			}
+		}
+		c.nodeLost = false
+		c.lastCkpt = restartFrom
+		m.res.RestartTime += proc.Now() - start
+		m.res.Rollbacks++
+		m.res.Failures++
+		if c.logged {
+			m.log.OnRecovery(c.name)
+		}
+		if m.p.Scheme == ckpt.Coordinated {
+			// The injector interrupted every live component; all roll
+			// back to the last checkpoint completed by the whole
+			// workflow, which may be older than this component's own
+			// (a failure can land between the two checkpoint barriers).
+			// Reset the anchors so re-execution re-checkpoints — and
+			// re-enters the barriers — in lockstep with the partner.
+			c.lastCkpt = m.coordRestart
+			if c.lastL2Ckpt > m.coordRestart {
+				c.lastL2Ckpt = m.coordRestart
+			}
+			return m.coordRestart + 1
+		}
+		return c.lastCkpt + 1
+	}
+}
+
+// injectorLoop delivers the failure schedule.
+func (m *model) injectorLoop(proc *sim.Proc, sched failure.Schedule) {
+	for _, inj := range sched {
+		delay := inj.At - proc.Now()
+		if delay > 0 {
+			if err := proc.Sleep(delay); err != nil {
+				return
+			}
+		}
+		target := m.sim
+		if inj.Component == "ana" {
+			target = m.ana
+		}
+		if target.done {
+			continue
+		}
+		if m.p.MultiLevel {
+			target.nodeLost = m.nodeLossRng.float() < m.p.NodeLossFrac
+		}
+		if m.p.Scheme == ckpt.Coordinated {
+			// Global rollback: every live component fails together and
+			// restarts from the last checkpoint the whole workflow
+			// completed. A component that already finished keeps its
+			// results (its staged data stays readable), so the coupling
+			// gates are only re-armed when both sides re-execute.
+			bothAlive := !m.sim.done && !m.ana.done
+			restart := int64(m.p.Workflow.Steps)
+			if !m.sim.done && m.sim.lastCkpt < restart {
+				restart = m.sim.lastCkpt
+			}
+			if !m.ana.done && m.ana.lastCkpt < restart {
+				restart = m.ana.lastCkpt
+			}
+			if bothAlive {
+				restart = minI64(m.sim.lastCkpt, m.ana.lastCkpt)
+			}
+			m.coordRestart = restart
+			if !m.sim.done {
+				m.env.Interrupt(m.sim.proc)
+			}
+			if !m.ana.done {
+				m.env.Interrupt(m.ana.proc)
+			}
+			if bothAlive {
+				// Re-arm the coupling cycle and drain stale barrier
+				// tokens.
+				m.produced.Reset(restart)
+				m.consumed.Reset(restart)
+				for {
+					if _, ok := m.barA.TryRecv(); !ok {
+						break
+					}
+				}
+				for {
+					if _, ok := m.barB.TryRecv(); !ok {
+						break
+					}
+				}
+			}
+			continue
+		}
+		m.env.Interrupt(target.proc)
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,245 @@
+package expt
+
+import (
+	"testing"
+	"time"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/cluster"
+	"gospaces/internal/failure"
+)
+
+func params(scheme ckpt.Scheme) SimParams {
+	return SimParams{
+		Workflow: cluster.TableII(),
+		Machine:  cluster.Cori(),
+		Scheme:   scheme,
+		Seed:     1,
+	}
+}
+
+func noFailures(p SimParams) SimParams {
+	p.Workflow.NFailures = 0
+	return p
+}
+
+func TestFailureFreeBaseline(t *testing.T) {
+	for _, scheme := range []ckpt.Scheme{ckpt.Coordinated, ckpt.Uncoordinated, ckpt.Individual, ckpt.Hybrid} {
+		res, err := RunSim(noFailures(params(scheme)))
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		// 40 steps x 10 s compute is the floor.
+		floor := 400 * time.Second
+		if res.TotalTime < floor {
+			t.Fatalf("%v: total %v below compute floor %v", scheme, res.TotalTime, floor)
+		}
+		if res.TotalTime > floor*3/2 {
+			t.Fatalf("%v: total %v unreasonably above floor", scheme, res.TotalTime)
+		}
+		if res.Failures != 0 || res.Rollbacks != 0 {
+			t.Fatalf("%v: phantom failures %+v", scheme, res)
+		}
+	}
+}
+
+func TestFailureFreeUnCoClose(t *testing.T) {
+	co, err := RunSim(noFailures(params(ckpt.Coordinated)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	un, err := RunSim(noFailures(params(ckpt.Uncoordinated)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure-free, the schemes differ only in logging overhead (Un)
+	// versus global-barrier stalls (Co); they must stay within a few
+	// percent of each other.
+	ratio := float64(un.TotalTime) / float64(co.TotalTime)
+	if ratio < 0.93 || ratio > 1.04 {
+		t.Fatalf("failure-free Un/Co ratio %.3f out of band", ratio)
+	}
+}
+
+func anaFailureAt(at time.Duration) failure.Schedule {
+	return failure.Fixed(failure.Injection{At: at, Component: "ana", Rank: 0})
+}
+
+func simFailureAt(at time.Duration) failure.Schedule {
+	return failure.Fixed(failure.Injection{At: at, Component: "sim", Rank: 0})
+}
+
+func TestAnalyticFailureUncoordinatedBeatsCoordinated(t *testing.T) {
+	sched := anaFailureAt(200 * time.Second)
+	pCo := params(ckpt.Coordinated)
+	pCo.Failures = sched
+	co, err := RunSim(pCo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pUn := params(ckpt.Uncoordinated)
+	pUn.Failures = sched
+	un, err := RunSim(pUn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if co.Rollbacks == 0 || un.Rollbacks == 0 {
+		t.Fatalf("rollbacks co=%d un=%d", co.Rollbacks, un.Rollbacks)
+	}
+	if un.TotalTime >= co.TotalTime {
+		t.Fatalf("Un (%v) not faster than Co (%v) under analytic failure", un.TotalTime, co.TotalTime)
+	}
+	if un.ReplayGets == 0 {
+		t.Fatal("uncoordinated recovery did not replay reads")
+	}
+	improvement := 1 - float64(un.TotalTime)/float64(co.TotalTime)
+	if improvement < 0.005 || improvement > 0.30 {
+		t.Fatalf("improvement %.2f%% outside plausible band", improvement*100)
+	}
+}
+
+func TestProducerFailureSuppressesWrites(t *testing.T) {
+	p := params(ckpt.Uncoordinated)
+	p.Failures = simFailureAt(200 * time.Second)
+	res, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rollbacks == 0 {
+		t.Fatal("no rollback")
+	}
+	if res.SuppressedPuts == 0 {
+		t.Fatal("producer replay did not suppress writes")
+	}
+}
+
+func TestHybridMasksAnalyticFailure(t *testing.T) {
+	sched := anaFailureAt(200 * time.Second)
+	pHy := params(ckpt.Hybrid)
+	pHy.Failures = sched
+	hy, err := RunSim(pHy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hy.ReplicaSwitches != 1 || hy.Rollbacks != 0 {
+		t.Fatalf("hybrid result %+v", hy)
+	}
+	pUn := params(ckpt.Uncoordinated)
+	pUn.Failures = sched
+	un, err := RunSim(pUn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replication masks the failure entirely; it must be at least as
+	// fast as rollback-based recovery.
+	if hy.TotalTime > un.TotalTime {
+		t.Fatalf("Hy (%v) slower than Un (%v)", hy.TotalTime, un.TotalTime)
+	}
+}
+
+func TestIndividualIsLowerBound(t *testing.T) {
+	sched := anaFailureAt(200 * time.Second)
+	var times []time.Duration
+	for _, scheme := range []ckpt.Scheme{ckpt.Individual, ckpt.Uncoordinated, ckpt.Coordinated} {
+		p := params(scheme)
+		p.Failures = sched
+		res, err := RunSim(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times = append(times, res.TotalTime)
+	}
+	in, un, co := times[0], times[1], times[2]
+	if in > un {
+		t.Fatalf("In (%v) slower than Un (%v)", in, un)
+	}
+	if un > co {
+		t.Fatalf("Un (%v) slower than Co (%v)", un, co)
+	}
+	// Un tracks In closely (paper: "nearly same execution time").
+	if float64(un)/float64(in) > 1.03 {
+		t.Fatalf("Un/In ratio %.3f too large", float64(un)/float64(in))
+	}
+}
+
+func TestMultipleFailures(t *testing.T) {
+	sched := failure.Fixed(
+		failure.Injection{At: 100 * time.Second, Component: "sim"},
+		failure.Injection{At: 250 * time.Second, Component: "ana"},
+		failure.Injection{At: 380 * time.Second, Component: "sim"},
+	)
+	p := params(ckpt.Uncoordinated)
+	p.Failures = sched
+	res, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 3 {
+		t.Fatalf("failures = %d, want 3", res.Failures)
+	}
+	base, _ := RunSim(noFailures(params(ckpt.Uncoordinated)))
+	if res.TotalTime <= base.TotalTime {
+		t.Fatal("failures did not extend execution time")
+	}
+}
+
+func TestCoordinatedRollsBackBoth(t *testing.T) {
+	p := params(ckpt.Coordinated)
+	p.Failures = anaFailureAt(200 * time.Second)
+	res, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both components roll back: two rollbacks for one failure.
+	if res.Rollbacks != 2 {
+		t.Fatalf("rollbacks = %d, want 2", res.Rollbacks)
+	}
+}
+
+func TestScaleGrowsImprovement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("heavy multi-scale sweep")
+	}
+	// The Un-vs-Co gap must widen with scale (Figure 10's trend), using
+	// the paper's MTBF-derived schedules.
+	scales := cluster.TableIII()
+	small, large := scales[0], scales[4]
+	// "Up to" semantics, as in the paper: best improvement over seeds.
+	imp := func(w cluster.Workflow) float64 {
+		best := 0.0
+		for seed := int64(1); seed <= 5; seed++ {
+			co, err := RunSim(SimParams{Workflow: w, Machine: cluster.Cori(), Scheme: ckpt.Coordinated, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			un, err := RunSim(SimParams{Workflow: w, Machine: cluster.Cori(), Scheme: ckpt.Uncoordinated, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if v := 1 - float64(un.TotalTime)/float64(co.TotalTime); v > best {
+				best = v
+			}
+		}
+		return best
+	}
+	si, li := imp(small), imp(large)
+	if li <= si {
+		t.Fatalf("best-case improvement did not grow with scale: %.2f%% -> %.2f%%", si*100, li*100)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	p := params(ckpt.Uncoordinated)
+	p.Seed = 99
+	a, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}

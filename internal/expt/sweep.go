@@ -1,0 +1,80 @@
+package expt
+
+import (
+	"io"
+	"time"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/cluster"
+)
+
+// SweepRow is one MTBF point of the failure-rate sensitivity study: how
+// the uncoordinated-vs-coordinated gap evolves as failures become more
+// frequent (the paper motivates the framework with exascale MTBFs
+// measured in minutes, §I).
+type SweepRow struct {
+	MTBF           time.Duration
+	Failures       float64 // mean injected failures per run
+	Co, Un         time.Duration
+	ImprovementPct float64
+}
+
+// MTBFSweep runs the Table II workflow across decreasing MTBFs, scaling
+// the injected failure count like the paper's Table III does
+// (horizon / MTBF), and reports the mean coordinated and uncoordinated
+// total times per point.
+func MTBFSweep(seeds []int64) ([]SweepRow, error) {
+	mach := cluster.Cori()
+	base := cluster.TableII()
+	horizon := 430 * time.Second // approximate failure-free makespan
+	var rows []SweepRow
+	// MTBF points chosen so the expected failure count over the ~430 s
+	// run steps 1, 2, 3, 4 — the regime the paper targets ("MTBF for an
+	// exascale system would be measured in minutes", §I).
+	for _, mtbf := range []time.Duration{
+		430 * time.Second, 215 * time.Second, 143 * time.Second, 107 * time.Second,
+	} {
+		w := base
+		w.MTBF = mtbf
+		w.NFailures = int(horizon / mtbf)
+		if w.NFailures < 1 {
+			w.NFailures = 1
+		}
+		var coSum, unSum time.Duration
+		var failSum int
+		for _, seed := range seeds {
+			co, err := RunSim(SimParams{Workflow: w, Machine: mach, Scheme: ckpt.Coordinated, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			un, err := RunSim(SimParams{Workflow: w, Machine: mach, Scheme: ckpt.Uncoordinated, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			coSum += co.TotalTime
+			unSum += un.TotalTime
+			failSum += un.Failures
+		}
+		n := time.Duration(len(seeds))
+		rows = append(rows, SweepRow{
+			MTBF:           mtbf,
+			Failures:       float64(failSum) / float64(len(seeds)),
+			Co:             coSum / n,
+			Un:             unSum / n,
+			ImprovementPct: (1 - float64(unSum)/float64(coSum)) * 100,
+		})
+	}
+	return rows, nil
+}
+
+// WriteSweep renders the MTBF sensitivity study.
+func WriteSweep(w io.Writer, rows []SweepRow) {
+	t := &Table{
+		Title:   "MTBF sweep: Un-vs-Co improvement as failures become frequent",
+		Headers: []string{"MTBF", "mean failures", "Co", "Un", "improvement %"},
+	}
+	for _, r := range rows {
+		t.Add(r.MTBF, r.Failures, r.Co, r.Un, r.ImprovementPct)
+	}
+	t.Write(w)
+}

@@ -1,0 +1,289 @@
+package locks
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWriteLockMutualExclusion(t *testing.T) {
+	m := NewManager()
+	var inside atomic.Int32
+	var maxInside atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			holder := string(rune('a' + i))
+			for j := 0; j < 50; j++ {
+				if err := m.Acquire("field", holder, Write); err != nil {
+					t.Error(err)
+					return
+				}
+				v := inside.Add(1)
+				if v > maxInside.Load() {
+					maxInside.Store(v)
+				}
+				inside.Add(-1)
+				if err := m.Release("field", holder, Write); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if maxInside.Load() != 1 {
+		t.Fatalf("max writers inside = %d", maxInside.Load())
+	}
+}
+
+func TestReadersShare(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("f", "r1", Read); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire("f", "r2", Read) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("second reader blocked")
+	}
+	if w, r := m.Holders("f"); w != "" || r != 2 {
+		t.Fatalf("holders = %q/%d", w, r)
+	}
+}
+
+func TestWriterExcludesReaders(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("f", "w", Write); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		if err := m.Acquire("f", "r", Read); err != nil {
+			t.Error(err)
+		}
+		close(got)
+	}()
+	select {
+	case <-got:
+		t.Fatal("reader acquired while writer held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := m.Release("f", "w", Write); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(time.Second):
+		t.Fatal("reader never woke after writer release")
+	}
+}
+
+func TestWaitingWriterBlocksNewReaders(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("f", "r1", Read); err != nil {
+		t.Fatal(err)
+	}
+	wGot := make(chan struct{})
+	go func() {
+		if err := m.Acquire("f", "w", Write); err != nil {
+			t.Error(err)
+		}
+		close(wGot)
+	}()
+	time.Sleep(20 * time.Millisecond) // let the writer start waiting
+	rGot := make(chan struct{})
+	go func() {
+		if err := m.Acquire("f", "r2", Read); err != nil {
+			t.Error(err)
+		}
+		close(rGot)
+	}()
+	select {
+	case <-rGot:
+		t.Fatal("new reader jumped a waiting writer")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := m.Release("f", "r1", Read); err != nil {
+		t.Fatal(err)
+	}
+	<-wGot // writer gets in first
+	if err := m.Release("f", "w", Write); err != nil {
+		t.Fatal(err)
+	}
+	<-rGot // then the reader
+}
+
+func TestRecursiveReadLock(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("f", "r", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("f", "r", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release("f", "r", Read); err != nil {
+		t.Fatal(err)
+	}
+	if _, readers := m.Holders("f"); readers != 1 {
+		t.Fatal("recursive count wrong")
+	}
+	if err := m.Release("f", "r", Read); err != nil {
+		t.Fatal(err)
+	}
+	if _, readers := m.Holders("f"); readers != 0 {
+		t.Fatal("not fully released")
+	}
+}
+
+func TestUpgradeDowngradeRejected(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("f", "x", Read); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("f", "x", Write); err == nil {
+		t.Fatal("upgrade allowed")
+	}
+	_ = m.Release("f", "x", Read)
+	if err := m.Acquire("f", "x", Write); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire("f", "x", Read); err == nil {
+		t.Fatal("downgrade allowed")
+	}
+	if err := m.Acquire("f", "x", Write); err == nil {
+		t.Fatal("double write acquire allowed")
+	}
+}
+
+func TestReleaseErrors(t *testing.T) {
+	m := NewManager()
+	if err := m.Release("ghost", "x", Write); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v", err)
+	}
+	_ = m.Acquire("f", "a", Read)
+	if err := m.Release("f", "b", Read); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := m.Release("f", "a", Write); !errors.Is(err, ErrNotHeld) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestReleaseAllOnFailure(t *testing.T) {
+	m := NewManager()
+	_ = m.Acquire("a", "dead", Write)
+	_ = m.Acquire("b", "dead", Read)
+	_ = m.Acquire("b", "alive", Read)
+	if n := m.ReleaseAll("dead"); n != 2 {
+		t.Fatalf("released %d", n)
+	}
+	// The write lock must now be grabbable.
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire("a", "alive2", Write) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("lock still dammed by dead holder")
+	}
+	if n := m.ReleaseAll("never-held"); n != 0 {
+		t.Fatalf("phantom release %d", n)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	m := NewManager()
+	_ = m.Acquire("f", "holder", Write)
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire("f", "w2", Write) }()
+	go func() { errs <- m.Acquire("f", "r", Read) }()
+	time.Sleep(20 * time.Millisecond)
+	m.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("err = %v", err)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("waiter not unblocked by close")
+		}
+	}
+	if err := m.Acquire("g", "x", Read); !errors.Is(err, ErrClosed) {
+		t.Fatalf("acquire after close: %v", err)
+	}
+}
+
+func TestAcquireValidation(t *testing.T) {
+	m := NewManager()
+	if err := m.Acquire("", "x", Read); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := m.Acquire("f", "", Read); err == nil {
+		t.Fatal("empty holder accepted")
+	}
+	if err := m.Acquire("f", "x", Kind(9)); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+	if err := m.Release("f", "x", Kind(9)); err == nil {
+		t.Fatal("bad release kind accepted")
+	}
+}
+
+// TestWriteReadCycle exercises the DataSpaces coupling idiom: producer
+// takes the write lock per step, consumers take read locks, and the
+// observed sequence is strictly alternating per step.
+func TestWriteReadCycle(t *testing.T) {
+	m := NewManager()
+	const steps = 30
+	written := make([]int32, steps+1)
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for ts := 1; ts <= steps; ts++ {
+			if err := m.Acquire("field", "sim", Write); err != nil {
+				t.Error(err)
+				return
+			}
+			atomic.StoreInt32(&written[ts], 1)
+			if err := m.Release("field", "sim", Write); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for c := 0; c < 2; c++ {
+		holder := string(rune('A' + c))
+		go func() {
+			defer wg.Done()
+			seen := 0
+			for seen < steps {
+				if err := m.Acquire("field", holder, Read); err != nil {
+					t.Error(err)
+					return
+				}
+				for ts := seen + 1; ts <= steps && atomic.LoadInt32(&written[ts]) == 1; ts++ {
+					seen = ts
+				}
+				if err := m.Release("field", holder, Read); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,506 @@
+package mpi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func makeComm(w *World, n int) (*Comm, []*Proc) {
+	procs := make([]*Proc, n)
+	for i := range procs {
+		procs[i] = w.NewProc()
+	}
+	return w.NewComm(procs), procs
+}
+
+func TestSendRecvFIFO(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	done := make(chan error, 2)
+	go func() {
+		for i := 0; i < 10; i++ {
+			if err := comm.Send(procs[0], 1, 7, i); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	go func() {
+		for i := 0; i < 10; i++ {
+			v, err := comm.Recv(procs[1], 0, 7)
+			if err != nil {
+				done <- err
+				return
+			}
+			if v.(int) != i {
+				done <- errors.New("out of order")
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTagsIsolate(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	if err := comm.Send(procs[0], 1, 1, "tag1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := comm.Send(procs[0], 1, 2, "tag2"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := comm.Recv(procs[1], 0, 2)
+	if err != nil || v.(string) != "tag2" {
+		t.Fatalf("got %v %v", v, err)
+	}
+	v, err = comm.Recv(procs[1], 0, 1)
+	if err != nil || v.(string) != "tag1" {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	w := NewWorld()
+	const n = 8
+	comm, procs := makeComm(w, n)
+	var before, after sync.WaitGroup
+	before.Add(n)
+	after.Add(n)
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			before.Done()
+			errs <- comm.Barrier(procs[i])
+			after.Done()
+		}(i)
+	}
+	before.Wait()
+	after.Wait()
+	for i := 0; i < n; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A second barrier on the same comm works (phases advance).
+	errs2 := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { errs2 <- comm.Barrier(procs[i]) }(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errs2; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	w := NewWorld()
+	const n = 4
+	comm, procs := makeComm(w, n)
+	results := make(chan float64, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			v, err := comm.AllReduceFloat64(procs[i], float64(i+1), func(a, b float64) float64 { return a + b })
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if v := <-results; v != 10 {
+			t.Fatalf("sum = %f", v)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	w := NewWorld()
+	const n = 4
+	comm, procs := makeComm(w, n)
+	results := make(chan any, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			var v any = nil
+			if i == 2 {
+				v = "payload"
+			}
+			got, err := comm.Bcast(procs[i], 2, v)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- got
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if got := <-results; got.(string) != "payload" {
+			t.Fatalf("got %v", got)
+		}
+	}
+}
+
+func TestKillRevokesBarrier(t *testing.T) {
+	w := NewWorld()
+	const n = 4
+	comm, procs := makeComm(w, n)
+	errs := make(chan error, n-1)
+	for i := 0; i < n-1; i++ {
+		go func(i int) { errs <- comm.Barrier(procs[i]) }(i)
+	}
+	time.Sleep(10 * time.Millisecond) // let them block
+	w.Kill(procs[n-1])
+	for i := 0; i < n-1; i++ {
+		if err := <-errs; !errors.Is(err, ErrRevoked) {
+			t.Fatalf("err = %v, want ErrRevoked", err)
+		}
+	}
+	if !comm.Revoked() {
+		t.Fatal("comm not revoked")
+	}
+	if err := comm.Barrier(procs[0]); !errors.Is(err, ErrRevoked) {
+		t.Fatalf("later barrier: %v", err)
+	}
+	failed := comm.FailedRanks()
+	if len(failed) != 1 || failed[0] != n-1 {
+		t.Fatalf("failed ranks = %v", failed)
+	}
+}
+
+func TestRecvFromDeadPeerErrors(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	errs := make(chan error, 1)
+	go func() {
+		_, err := comm.Recv(procs[1], 0, 0)
+		errs <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Kill(procs[0])
+	err := <-errs
+	var pf ProcFailedError
+	if !errors.As(err, &pf) && !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestMessageBeforeDeathIsDelivered(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	if err := comm.Send(procs[0], 1, 0, "last words"); err != nil {
+		t.Fatal(err)
+	}
+	w.Kill(procs[0])
+	v, err := comm.Recv(procs[1], 0, 0)
+	if err != nil || v.(string) != "last words" {
+		t.Fatalf("got %v %v", v, err)
+	}
+}
+
+func TestSendToDeadErrors(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	w.Kill(procs[1])
+	err := comm.Send(procs[0], 1, 0, "x")
+	var pf ProcFailedError
+	if !errors.As(err, &pf) && !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDeadCallerErrors(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	w.Kill(procs[0])
+	if err := comm.Send(procs[0], 1, 0, "x"); !errors.Is(err, ErrDead) && !errors.Is(err, ErrRevoked) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestAgreeSurvivesFailure(t *testing.T) {
+	w := NewWorld()
+	const n = 4
+	comm, procs := makeComm(w, n)
+	w.Kill(procs[3])
+	results := make(chan bool, n-1)
+	for i := 0; i < n-1; i++ {
+		go func(i int) {
+			v, err := comm.Agree(procs[i], true)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}(i)
+	}
+	for i := 0; i < n-1; i++ {
+		if !<-results {
+			t.Fatal("agreement false")
+		}
+	}
+}
+
+func TestAgreeFoldsAnd(t *testing.T) {
+	w := NewWorld()
+	const n = 3
+	comm, procs := makeComm(w, n)
+	results := make(chan bool, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			v, err := comm.Agree(procs[i], i != 1) // one dissent
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if <-results {
+			t.Fatal("agreement should be false")
+		}
+	}
+}
+
+func TestShrinkExcludesDead(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 4)
+	w.Kill(procs[1])
+	small := comm.Shrink()
+	if small.Size() != 3 {
+		t.Fatalf("shrunk size %d", small.Size())
+	}
+	if small.Rank(procs[0]) != 0 || small.Rank(procs[2]) != 1 || small.Rank(procs[3]) != 2 {
+		t.Fatal("rank order not preserved")
+	}
+	if small.Revoked() {
+		t.Fatal("new comm revoked")
+	}
+}
+
+func TestRepairWithSpares(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 4)
+	pool := NewSparePool(w, 2)
+	w.Kill(procs[2])
+	fixed, replaced, err := comm.Repair(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(replaced) != 1 || replaced[0] != 2 {
+		t.Fatalf("replaced = %v", replaced)
+	}
+	if fixed.Size() != 4 || pool.Len() != 1 {
+		t.Fatalf("size=%d spares=%d", fixed.Size(), pool.Len())
+	}
+	// The repaired comm is fully operational.
+	errs := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		m := fixed.members[i]
+		go func() { errs <- fixed.Barrier(m) }()
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRepairPoolExhausted(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 3)
+	pool := NewSparePool(w, 0)
+	w.Kill(procs[0])
+	if _, _, err := comm.Repair(pool); err == nil {
+		t.Fatal("repair with empty pool succeeded")
+	}
+}
+
+func TestSparePoolGetPut(t *testing.T) {
+	w := NewWorld()
+	pool := NewSparePool(w, 2)
+	a, ok := pool.Get()
+	if !ok || a == nil {
+		t.Fatal("get failed")
+	}
+	b, _ := pool.Get()
+	if _, ok := pool.Get(); ok {
+		t.Fatal("empty pool returned a spare")
+	}
+	pool.Put(a)
+	pool.Put(b)
+	if pool.Len() != 2 {
+		t.Fatalf("len = %d", pool.Len())
+	}
+}
+
+func TestBadRankArguments(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	if err := comm.Send(procs[0], 9, 0, "x"); err == nil {
+		t.Fatal("bad dst accepted")
+	}
+	if _, err := comm.Recv(procs[0], -1, 0); err == nil {
+		t.Fatal("bad src accepted")
+	}
+	if comm.Rank(w.NewProc()) != -1 {
+		t.Fatal("foreign proc has a rank")
+	}
+}
+
+// TestManyRanksStress runs a realistic pattern: barrier, allreduce,
+// neighbour exchange, repeated, with GOMAXPROCS-level parallelism.
+func TestManyRanksStress(t *testing.T) {
+	w := NewWorld()
+	const n = 16
+	comm, procs := makeComm(w, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			p := procs[rank]
+			for step := 0; step < 20; step++ {
+				if err := comm.Barrier(p); err != nil {
+					errs <- err
+					return
+				}
+				right := (rank + 1) % n
+				left := (rank + n - 1) % n
+				if err := comm.Send(p, right, 5, rank); err != nil {
+					errs <- err
+					return
+				}
+				v, err := comm.Recv(p, left, 5)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.(int) != left {
+					errs <- errors.New("wrong halo value")
+					return
+				}
+				sum, err := comm.AllReduceFloat64(p, 1, func(a, b float64) float64 { return a + b })
+				if err != nil {
+					errs <- err
+					return
+				}
+				if sum != n {
+					errs <- errors.New("wrong reduce value")
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSendRecv(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	if err := comm.Send(procs[0], 0, 1, "note to self"); err != nil {
+		t.Fatal(err)
+	}
+	v, err := comm.Recv(procs[0], 0, 1)
+	if err != nil || v.(string) != "note to self" {
+		t.Fatalf("self message: %v %v", v, err)
+	}
+}
+
+func TestSingleMemberCollectives(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 1)
+	if err := comm.Barrier(procs[0]); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := comm.AllReduceFloat64(procs[0], 7, func(a, b float64) float64 { return a + b })
+	if err != nil || sum != 7 {
+		t.Fatalf("reduce = %f %v", sum, err)
+	}
+	v, err := comm.Bcast(procs[0], 0, "solo")
+	if err != nil || v.(string) != "solo" {
+		t.Fatalf("bcast = %v %v", v, err)
+	}
+	ok, err := comm.Agree(procs[0], true)
+	if err != nil || !ok {
+		t.Fatalf("agree = %v %v", ok, err)
+	}
+}
+
+func TestCollectiveDoubleEntryDetected(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 2)
+	done := make(chan error, 1)
+	go func() { done <- comm.Barrier(procs[1]) }()
+	time.Sleep(10 * time.Millisecond)
+	// procs[1] is parked in the phase; a second entry by the same proc
+	// (API misuse) must error, not corrupt the phase.
+	if _, err := comm.collective(procs[1], func(acc any) any { return nil }); err == nil {
+		t.Fatal("double entry accepted")
+	}
+	if err := comm.Barrier(procs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAgreeArrivedThenDies(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 3)
+	results := make(chan bool, 2)
+	// Rank 2 arrives first, then dies while others are yet to arrive.
+	go func() {
+		v, err := comm.Agree(procs[2], true)
+		if err == nil {
+			results <- v
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	w.Kill(procs[2])
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			v, err := comm.Agree(procs[i], true)
+			if err != nil {
+				t.Error(err)
+			}
+			results <- v
+		}(i)
+	}
+	for i := 0; i < 2; i++ {
+		if !<-results {
+			t.Fatal("agreement false")
+		}
+	}
+}
+
+func TestBcastRevokedMidPhase(t *testing.T) {
+	w := NewWorld()
+	comm, procs := makeComm(w, 3)
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, err := comm.Bcast(procs[i], 0, "v")
+			errs <- err
+		}(i)
+	}
+	time.Sleep(10 * time.Millisecond)
+	w.Kill(procs[2]) // never arrives
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrRevoked) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Package pfs models the parallel file system checkpoints are written
+// to. It has two faces:
+//
+//   - Store: a real (in-memory, thread-safe) checkpoint store used by
+//     the functional workflow runtime and the examples, standing in for
+//     Lustre plus the node-local NVRAM/burst-buffer options of §III-C.
+//   - SimPFS: a virtual-time cost model over internal/sim, used by the
+//     experiment harness. All writers share the aggregate PFS
+//     bandwidth, which is what makes global coordinated checkpoints
+//     increasingly expensive at scale (Figure 10).
+package pfs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/sim"
+)
+
+// Store is a reliable in-memory object store for checkpoints. The paper
+// assumes the checkpoint storage is fault-free.
+type Store struct {
+	mu      sync.RWMutex
+	objects map[string][]byte
+	bytes   int64
+	writes  int64
+	reads   int64
+}
+
+// NewStore returns an empty checkpoint store.
+func NewStore() *Store {
+	return &Store{objects: make(map[string][]byte)}
+}
+
+// Write stores data under name, replacing any previous object.
+func (s *Store) Write(name string, data []byte) {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.objects[name]; ok {
+		s.bytes -= int64(len(old))
+	}
+	s.objects[name] = cp
+	s.bytes += int64(len(cp))
+	s.writes++
+}
+
+// Read returns the object stored under name.
+func (s *Store) Read(name string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.objects[name]
+	if !ok {
+		return nil, false
+	}
+	s.reads++
+	return append([]byte(nil), d...), true
+}
+
+// Delete removes the object stored under name.
+func (s *Store) Delete(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.objects[name]; ok {
+		s.bytes -= int64(len(old))
+		delete(s.objects, name)
+	}
+}
+
+// Bytes returns resident checkpoint bytes.
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.bytes
+}
+
+// Stats returns (writes, reads) served.
+func (s *Store) Stats() (int64, int64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.writes, s.reads
+}
+
+// SimPFS is the virtual-time parallel file system: a shared bandwidth
+// pipe with per-operation latency.
+type SimPFS struct {
+	bw *sim.Bandwidth
+	// stripes is the number of concurrent I/O streams the PFS serves at
+	// full aggregate rate; writes beyond it queue.
+	writeBytes int64
+	readBytes  int64
+}
+
+// NewSimPFS creates a PFS model with the given aggregate bandwidth
+// (bytes/second) and per-operation latency.
+func NewSimPFS(env *sim.Env, bytesPerSec float64, latency time.Duration) *SimPFS {
+	return &SimPFS{bw: sim.NewBandwidth(env, bytesPerSec, latency)}
+}
+
+// WriteCheckpoint charges p the time to write bytes to the PFS.
+func (f *SimPFS) WriteCheckpoint(p *sim.Proc, bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("pfs: negative write size %d", bytes)
+	}
+	f.writeBytes += bytes
+	return f.bw.Transfer(p, bytes)
+}
+
+// ReadCheckpoint charges p the time to read bytes from the PFS.
+func (f *SimPFS) ReadCheckpoint(p *sim.Proc, bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("pfs: negative read size %d", bytes)
+	}
+	f.readBytes += bytes
+	return f.bw.Transfer(p, bytes)
+}
+
+// Traffic returns total (written, read) bytes charged so far.
+func (f *SimPFS) Traffic() (int64, int64) { return f.writeBytes, f.readBytes }

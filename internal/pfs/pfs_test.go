@@ -1,0 +1,132 @@
+package pfs
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"gospaces/internal/sim"
+)
+
+func TestStoreWriteReadDelete(t *testing.T) {
+	s := NewStore()
+	s.Write("ckpt/sim/1", []byte{1, 2, 3})
+	got, ok := s.Read("ckpt/sim/1")
+	if !ok || !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("read = %v %v", got, ok)
+	}
+	if _, ok := s.Read("missing"); ok {
+		t.Fatal("phantom read")
+	}
+	// Replacement accounts bytes correctly.
+	s.Write("ckpt/sim/1", []byte{9})
+	if s.Bytes() != 1 {
+		t.Fatalf("bytes = %d", s.Bytes())
+	}
+	s.Delete("ckpt/sim/1")
+	if s.Bytes() != 0 {
+		t.Fatalf("bytes after delete = %d", s.Bytes())
+	}
+	s.Delete("missing") // no-op
+	w, r := s.Stats()
+	if w != 2 || r != 1 {
+		t.Fatalf("stats = %d,%d", w, r)
+	}
+}
+
+func TestStoreIsolatesCallerBuffer(t *testing.T) {
+	s := NewStore()
+	buf := []byte{1, 2, 3}
+	s.Write("k", buf)
+	buf[0] = 99
+	got, _ := s.Read("k")
+	if got[0] != 1 {
+		t.Fatal("store aliases caller buffer")
+	}
+	got[1] = 99
+	got2, _ := s.Read("k")
+	if got2[1] != 2 {
+		t.Fatal("read aliases store buffer")
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			for j := 0; j < 100; j++ {
+				s.Write(key, make([]byte, 10))
+				s.Read(key)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Bytes() != 80 {
+		t.Fatalf("bytes = %d", s.Bytes())
+	}
+}
+
+func TestSimPFSChargesTime(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewSimPFS(env, 100, 0) // 100 B/s
+	var done time.Duration
+	env.Spawn("writer", func(p *sim.Proc) {
+		if err := f.WriteCheckpoint(p, 200); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		done = p.Now()
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if done != 2*time.Second {
+		t.Fatalf("write finished at %v", done)
+	}
+	w, r := f.Traffic()
+	if w != 200 || r != 0 {
+		t.Fatalf("traffic = %d,%d", w, r)
+	}
+}
+
+func TestSimPFSContention(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewSimPFS(env, 100, 0)
+	var last time.Duration
+	for i := 0; i < 3; i++ {
+		env.Spawn("writer", func(p *sim.Proc) {
+			if err := f.WriteCheckpoint(p, 100); err != nil {
+				t.Errorf("write: %v", err)
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if last != 3*time.Second {
+		t.Fatalf("3 concurrent 1s writes finished at %v", last)
+	}
+}
+
+func TestSimPFSValidation(t *testing.T) {
+	env := sim.NewEnv()
+	f := NewSimPFS(env, 100, 0)
+	env.Spawn("w", func(p *sim.Proc) {
+		if err := f.WriteCheckpoint(p, -1); err == nil {
+			t.Error("negative write accepted")
+		}
+		if err := f.ReadCheckpoint(p, -1); err == nil {
+			t.Error("negative read accepted")
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestInterruptResourceWait(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var victim *Proc
+	var gotErr error
+	env.Spawn("holder", func(p *Proc) {
+		_ = res.Acquire(p, 1)
+		_ = p.Sleep(time.Hour) // holds past the run limit
+		res.Release(1)
+	})
+	victim = env.Spawn("victim", func(p *Proc) {
+		gotErr = res.Acquire(p, 1)
+	})
+	env.Spawn("killer", func(p *Proc) {
+		_ = p.Sleep(time.Second)
+		env.Interrupt(victim)
+	})
+	if err := env.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrInterrupted) {
+		t.Fatalf("victim err = %v", gotErr)
+	}
+	// An interrupted waiter must not hold units.
+	if res.InUse() != 1 {
+		t.Fatalf("inUse = %d, want 1 (holder only)", res.InUse())
+	}
+}
+
+func TestInterruptedWaiterDoesNotStealGrant(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var second *Proc
+	order := []string{}
+	env.Spawn("holder", func(p *Proc) {
+		_ = res.Acquire(p, 1)
+		_ = p.Sleep(10 * time.Second)
+		res.Release(1)
+	})
+	second = env.Spawn("second", func(p *Proc) {
+		if err := res.Acquire(p, 1); err != nil {
+			order = append(order, "second-interrupted")
+			return
+		}
+		order = append(order, "second-got")
+		res.Release(1)
+	})
+	env.Spawn("third", func(p *Proc) {
+		_ = p.Sleep(time.Second)
+		if err := res.Acquire(p, 1); err != nil {
+			return
+		}
+		order = append(order, "third-got")
+		res.Release(1)
+	})
+	env.Spawn("killer", func(p *Proc) {
+		_ = p.Sleep(2 * time.Second)
+		env.Interrupt(second)
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "second-interrupted" || order[1] != "third-got" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestMailboxInterruptLeavesQueueConsistent(t *testing.T) {
+	env := NewEnv()
+	mb := NewMailbox[int](env)
+	var a, b *Proc
+	var bGot int
+	a = env.Spawn("a", func(p *Proc) {
+		if _, err := mb.Recv(p); !errors.Is(err, ErrInterrupted) {
+			t.Errorf("a: %v", err)
+		}
+	})
+	b = env.Spawn("b", func(p *Proc) {
+		_ = p.Sleep(2 * time.Second)
+		v, err := mb.Recv(p)
+		if err != nil {
+			t.Errorf("b: %v", err)
+			return
+		}
+		bGot = v
+	})
+	env.Spawn("driver", func(p *Proc) {
+		_ = p.Sleep(time.Second)
+		env.Interrupt(a)
+		_ = p.Sleep(2 * time.Second)
+		mb.Send(42) // must reach b, not the cancelled waiter a
+	})
+	_ = b
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if bGot != 42 {
+		t.Fatalf("b got %d", bGot)
+	}
+}
+
+func TestRunLimitExactBoundary(t *testing.T) {
+	env := NewEnv()
+	fired := false
+	env.Spawn("p", func(p *Proc) {
+		_ = p.Sleep(3 * time.Second)
+		fired = true
+	})
+	// An event exactly AT the limit fires (limit is exclusive beyond).
+	if err := env.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event at the limit did not fire")
+	}
+}
+
+func TestProcNameAndEnvAccessors(t *testing.T) {
+	env := NewEnv()
+	p := env.Spawn("worker", func(p *Proc) {
+		if p.Name() != "worker" || p.Env() != env {
+			t.Error("accessors wrong")
+		}
+	})
+	_ = p
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

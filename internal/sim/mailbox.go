@@ -1,0 +1,79 @@
+package sim
+
+// Mailbox is an unbounded FIFO message queue between simulated
+// processes. Send never blocks; Recv blocks until a message arrives.
+// Delivery order is send order, and a blocked receiver is woken in FIFO
+// order with one message reserved for it.
+type Mailbox[T any] struct {
+	env     *Env
+	q       []T
+	waiters []*mboxWaiter[T]
+}
+
+type mboxWaiter[T any] struct {
+	p     *Proc
+	v     T
+	valid bool
+	gone  bool
+}
+
+// NewMailbox creates a mailbox owned by env.
+func NewMailbox[T any](env *Env) *Mailbox[T] {
+	return &Mailbox[T]{env: env}
+}
+
+// Len reports the number of queued (undelivered, unreserved) messages.
+func (m *Mailbox[T]) Len() int { return len(m.q) }
+
+// Send enqueues v, waking the oldest blocked receiver if any. The
+// receiver resumes at the current virtual time; model link latency by
+// sleeping before Send or after Recv.
+func (m *Mailbox[T]) Send(v T) {
+	for len(m.waiters) > 0 {
+		w := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		if w.gone {
+			continue
+		}
+		w.v = v
+		w.valid = true
+		m.env.schedule(w.p, m.env.now, false)
+		return
+	}
+	m.q = append(m.q, v)
+}
+
+// Recv returns the next message, blocking until one is available. It
+// returns ErrInterrupted if the waiting process is interrupted.
+func (m *Mailbox[T]) Recv(p *Proc) (T, error) {
+	if len(m.q) > 0 {
+		v := m.q[0]
+		m.q = m.q[1:]
+		return v, nil
+	}
+	w := &mboxWaiter[T]{p: p}
+	m.waiters = append(m.waiters, w)
+	p.cancelWait = func() bool {
+		if w.gone || w.valid {
+			return false
+		}
+		w.gone = true
+		return true
+	}
+	if p.park() {
+		var zero T
+		return zero, ErrInterrupted
+	}
+	return w.v, nil
+}
+
+// TryRecv returns a queued message without blocking.
+func (m *Mailbox[T]) TryRecv() (T, bool) {
+	if len(m.q) == 0 {
+		var zero T
+		return zero, false
+	}
+	v := m.q[0]
+	m.q = m.q[1:]
+	return v, true
+}

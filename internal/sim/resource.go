@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Resource is a counting semaphore with a FIFO wait queue, used to model
+// contended hardware: staging server service slots, PFS I/O streams,
+// network links.
+type Resource struct {
+	env      *Env
+	capacity int64
+	inUse    int64
+	waiters  []*resWaiter
+}
+
+type resWaiter struct {
+	p       *Proc
+	n       int64
+	granted bool
+	gone    bool
+}
+
+// NewResource creates a resource with the given capacity (> 0).
+func NewResource(env *Env, capacity int64) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// InUse reports the currently held units.
+func (r *Resource) InUse() int64 { return r.inUse }
+
+// Acquire obtains n units, blocking FIFO until available. It returns
+// ErrInterrupted if the process is interrupted while waiting, in which
+// case no units are held.
+func (r *Resource) Acquire(p *Proc, n int64) error {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of capacity %d", n, r.capacity))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.inUse += n
+		return nil
+	}
+	w := &resWaiter{p: p, n: n}
+	r.waiters = append(r.waiters, w)
+	p.cancelWait = func() bool {
+		if w.gone || w.granted {
+			return false
+		}
+		w.gone = true
+		return true
+	}
+	if p.park() {
+		return ErrInterrupted
+	}
+	return nil
+}
+
+// Release returns n units and grants as many FIFO waiters as now fit.
+func (r *Resource) Release(n int64) {
+	r.inUse -= n
+	if r.inUse < 0 {
+		panic("sim: release of units never acquired")
+	}
+	r.grant()
+}
+
+func (r *Resource) grant() {
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		if w.gone {
+			r.waiters = r.waiters[1:]
+			continue
+		}
+		if r.inUse+w.n > r.capacity {
+			return // strict FIFO: do not let smaller requests jump the queue
+		}
+		r.waiters = r.waiters[1:]
+		w.granted = true
+		r.inUse += w.n
+		r.env.schedule(w.p, r.env.now, false)
+	}
+}
+
+// Bandwidth models a shared byte pipe of fixed aggregate rate with FIFO
+// service, such as the Lustre PFS link checkpoints are written to or a
+// staging server's ingest link. Concurrent transfers serialize, so N
+// equal-size concurrent writers each observe ~N× the isolated transfer
+// time — the same aggregate completion time as fair sharing, which is
+// the quantity the paper's execution-time figures depend on.
+type Bandwidth struct {
+	res         *Resource
+	bytesPerSec float64
+	latency     time.Duration
+}
+
+// NewBandwidth creates a pipe with the given rate and per-transfer
+// latency. Rate must be positive.
+func NewBandwidth(env *Env, bytesPerSec float64, latency time.Duration) *Bandwidth {
+	if bytesPerSec <= 0 {
+		panic("sim: bandwidth must be positive")
+	}
+	return &Bandwidth{res: NewResource(env, 1), bytesPerSec: bytesPerSec, latency: latency}
+}
+
+// TransferTime returns the service time for a transfer of the given
+// size, excluding queueing.
+func (b *Bandwidth) TransferTime(bytes int64) time.Duration {
+	return b.latency + time.Duration(float64(bytes)/b.bytesPerSec*float64(time.Second))
+}
+
+// Transfer moves bytes through the pipe, blocking for queueing plus
+// service time. It is interrupt-safe: an interrupt during service
+// releases the pipe.
+func (b *Bandwidth) Transfer(p *Proc, bytes int64) error {
+	if bytes < 0 {
+		panic("sim: negative transfer size")
+	}
+	if err := b.res.Acquire(p, 1); err != nil {
+		return err
+	}
+	err := p.Sleep(b.TransferTime(bytes))
+	b.res.Release(1)
+	return err
+}

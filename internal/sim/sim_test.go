@@ -1,0 +1,361 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv()
+	var woke time.Duration
+	env.Spawn("sleeper", func(p *Proc) {
+		if err := p.Sleep(5 * time.Second); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		woke = p.Now()
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if woke != 5*time.Second {
+		t.Fatalf("woke at %v", woke)
+	}
+	if env.Now() != 5*time.Second {
+		t.Fatalf("env now %v", env.Now())
+	}
+}
+
+func TestNegativeSleepClamps(t *testing.T) {
+	env := NewEnv()
+	env.Spawn("p", func(p *Proc) {
+		if err := p.Sleep(-time.Second); err != nil {
+			t.Errorf("sleep: %v", err)
+		}
+		if p.Now() != 0 {
+			t.Errorf("now = %v", p.Now())
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicInterleaving(t *testing.T) {
+	run := func() []string {
+		env := NewEnv()
+		var order []string
+		for _, n := range []string{"a", "b", "c"} {
+			name := n
+			env.Spawn(name, func(p *Proc) {
+				for i := 0; i < 3; i++ {
+					if err := p.Sleep(time.Second); err != nil {
+						return
+					}
+					order = append(order, name)
+				}
+			})
+		}
+		if err := env.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		if got := run(); len(got) != len(first) {
+			t.Fatal("nondeterministic length")
+		} else {
+			for j := range got {
+				if got[j] != first[j] {
+					t.Fatalf("run differs at %d: %v vs %v", j, got, first)
+				}
+			}
+		}
+	}
+	// Same-time events fire in spawn order.
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	for i, w := range want {
+		if first[i] != w {
+			t.Fatalf("order = %v", first)
+		}
+	}
+}
+
+func TestMailboxRendezvous(t *testing.T) {
+	env := NewEnv()
+	mb := NewMailbox[int](env)
+	var got []int
+	env.Spawn("recv", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			v, err := mb.Recv(p)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	env.Spawn("send", func(p *Proc) {
+		for i := 1; i <= 3; i++ {
+			if err := p.Sleep(time.Second); err != nil {
+				return
+			}
+			mb.Send(i * 10)
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestMailboxBuffersWhenNoWaiter(t *testing.T) {
+	env := NewEnv()
+	mb := NewMailbox[string](env)
+	env.Spawn("send", func(p *Proc) {
+		mb.Send("x")
+		mb.Send("y")
+	})
+	env.Spawn("recv", func(p *Proc) {
+		if err := p.Sleep(time.Second); err != nil {
+			return
+		}
+		a, _ := mb.Recv(p)
+		b, _ := mb.Recv(p)
+		if a != "x" || b != "y" {
+			t.Errorf("got %q %q", a, b)
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTryRecv(t *testing.T) {
+	env := NewEnv()
+	mb := NewMailbox[int](env)
+	if _, ok := mb.TryRecv(); ok {
+		t.Fatal("TryRecv on empty succeeded")
+	}
+	mb.Send(7)
+	if v, ok := mb.TryRecv(); !ok || v != 7 {
+		t.Fatalf("TryRecv = %d,%v", v, ok)
+	}
+}
+
+func TestResourceFIFOContention(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var finish []time.Duration
+	for i := 0; i < 3; i++ {
+		env.Spawn("w", func(p *Proc) {
+			if err := res.Acquire(p, 1); err != nil {
+				t.Errorf("acquire: %v", err)
+				return
+			}
+			if err := p.Sleep(10 * time.Second); err != nil {
+				return
+			}
+			res.Release(1)
+			finish = append(finish, p.Now())
+		})
+	}
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{10 * time.Second, 20 * time.Second, 30 * time.Second}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Fatalf("finish times %v", finish)
+		}
+	}
+}
+
+func TestBandwidthSharing(t *testing.T) {
+	env := NewEnv()
+	bw := NewBandwidth(env, 100, 0) // 100 B/s
+	var last time.Duration
+	for i := 0; i < 4; i++ {
+		env.Spawn("xfer", func(p *Proc) {
+			if err := bw.Transfer(p, 100); err != nil {
+				t.Errorf("transfer: %v", err)
+			}
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if last != 4*time.Second {
+		t.Fatalf("4 concurrent 1s transfers finished at %v, want 4s", last)
+	}
+}
+
+func TestInterruptSleep(t *testing.T) {
+	env := NewEnv()
+	var target *Proc
+	var gotErr error
+	target = env.Spawn("victim", func(p *Proc) {
+		gotErr = p.Sleep(time.Hour)
+	})
+	env.Spawn("killer", func(p *Proc) {
+		if err := p.Sleep(time.Second); err != nil {
+			return
+		}
+		if !env.Interrupt(target) {
+			t.Error("interrupt failed")
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrInterrupted) {
+		t.Fatalf("victim error = %v", gotErr)
+	}
+	if env.Now() != time.Second {
+		t.Fatalf("clock ran to %v despite interrupt", env.Now())
+	}
+}
+
+func TestInterruptMailboxWait(t *testing.T) {
+	env := NewEnv()
+	mb := NewMailbox[int](env)
+	var target *Proc
+	var gotErr error
+	target = env.Spawn("victim", func(p *Proc) {
+		_, gotErr = mb.Recv(p)
+	})
+	env.Spawn("killer", func(p *Proc) {
+		if err := p.Sleep(time.Second); err != nil {
+			return
+		}
+		env.Interrupt(target)
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(gotErr, ErrInterrupted) {
+		t.Fatalf("victim error = %v", gotErr)
+	}
+}
+
+func TestInterruptRunnableIsNoop(t *testing.T) {
+	env := NewEnv()
+	done := false
+	p1 := env.Spawn("p1", func(p *Proc) {
+		if err := p.Sleep(time.Second); err != nil {
+			t.Error("p1 interrupted")
+		}
+		done = true
+	})
+	env.Spawn("p2", func(p *Proc) {
+		if err := p.Sleep(2 * time.Second); err != nil {
+			return
+		}
+		if env.Interrupt(p1) {
+			t.Error("interrupt of finished proc succeeded")
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("p1 never finished")
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	env := NewEnv()
+	mb := NewMailbox[int](env)
+	env.Spawn("stuck", func(p *Proc) {
+		_, _ = mb.Recv(p) // nobody ever sends
+	})
+	err := env.Run(0)
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock", err)
+	}
+}
+
+func TestRunLimitStopsAndResumes(t *testing.T) {
+	env := NewEnv()
+	var count int
+	env.Spawn("ticker", func(p *Proc) {
+		for i := 0; i < 10; i++ {
+			if err := p.Sleep(time.Second); err != nil {
+				return
+			}
+			count++
+		}
+	})
+	if err := env.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 3 || env.Now() != 3*time.Second {
+		t.Fatalf("after limited run: count=%d now=%v", count, env.Now())
+	}
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("final count = %d", count)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	env := NewEnv()
+	var childRan bool
+	env.Spawn("parent", func(p *Proc) {
+		if err := p.Sleep(time.Second); err != nil {
+			return
+		}
+		env.Spawn("child", func(c *Proc) {
+			if c.Now() != time.Second {
+				t.Errorf("child started at %v", c.Now())
+			}
+			childRan = true
+		})
+		if err := p.Sleep(time.Second); err != nil {
+			return
+		}
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !childRan {
+		t.Fatal("child never ran")
+	}
+}
+
+func TestResourceStrictFIFO(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 2)
+	var order []string
+	env.Spawn("big-holder", func(p *Proc) {
+		_ = res.Acquire(p, 2)
+		_ = p.Sleep(10 * time.Second)
+		res.Release(2)
+	})
+	env.Spawn("wants2", func(p *Proc) {
+		_ = p.Sleep(time.Second)
+		_ = res.Acquire(p, 2)
+		order = append(order, "wants2")
+		res.Release(2)
+	})
+	env.Spawn("wants1", func(p *Proc) {
+		_ = p.Sleep(2 * time.Second)
+		_ = res.Acquire(p, 1)
+		order = append(order, "wants1")
+		res.Release(1)
+	})
+	if err := env.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "wants2" {
+		t.Fatalf("order = %v, want wants2 first (strict FIFO)", order)
+	}
+}

@@ -1,0 +1,370 @@
+package staging
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/dht"
+	"gospaces/internal/domain"
+	"gospaces/internal/transport"
+)
+
+// Config describes a staging server group.
+type Config struct {
+	// Global is the data domain the group indexes.
+	Global domain.BBox
+	// NServers is the number of staging servers.
+	NServers int
+	// Bits is the DHT refinement (cells per dimension = 1<<Bits).
+	Bits int
+	// ElemSize is the byte width of one grid cell.
+	ElemSize int
+	// Curve selects the space-filling curve ordering cells across
+	// servers (default Z-order; Hilbert trades code cost for locality).
+	Curve dht.Curve
+	// MemoryBudgetPerServer caps each server's resident object bytes
+	// (0 = unlimited). A put that would exceed the budget first runs
+	// garbage collection; if the log still needs the space, the put is
+	// rejected with a budget error — staging memory is a hard resource
+	// on real machines.
+	MemoryBudgetPerServer int64
+}
+
+// Pool is a client-side view of a staging group: the spatial index plus
+// the server addresses.
+type Pool struct {
+	cfg   Config
+	index *dht.Index
+	tr    transport.Transport
+	addrs []string
+
+	// cellMu guards cells, a lazily built cache of the sub-boxes each
+	// server owns; the pool is shared by all of a component's clients.
+	cellMu sync.Mutex
+	cells  [][]domain.BBox
+}
+
+// NewPool builds a client-side pool for a running group. addrs must
+// have cfg.NServers entries, in server-id order.
+func NewPool(tr transport.Transport, addrs []string, cfg Config) (*Pool, error) {
+	if len(addrs) != cfg.NServers {
+		return nil, fmt.Errorf("staging: %d addrs for %d servers", len(addrs), cfg.NServers)
+	}
+	if cfg.ElemSize <= 0 {
+		return nil, fmt.Errorf("staging: non-positive element size %d", cfg.ElemSize)
+	}
+	idx, err := dht.NewIndexCurve(cfg.Global, cfg.NServers, cfg.Bits, cfg.Curve)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{
+		cfg:   cfg,
+		index: idx,
+		tr:    tr,
+		addrs: append([]string(nil), addrs...),
+		cells: make([][]domain.BBox, cfg.NServers),
+	}, nil
+}
+
+// Config returns the pool configuration.
+func (p *Pool) Config() Config { return p.cfg }
+
+// serverCells returns (cached) the sub-boxes owned by server s.
+func (p *Pool) serverCells(s int) []domain.BBox {
+	p.cellMu.Lock()
+	defer p.cellMu.Unlock()
+	if p.cells[s] == nil {
+		p.cells[s] = p.index.ServerCells(s)
+	}
+	return p.cells[s]
+}
+
+// Client is one application rank's connection to the staging group.
+// A Client is not safe for concurrent use; create one per rank, as each
+// rank's request stream must stay ordered for deterministic replay.
+type Client struct {
+	app   string
+	pool  *Pool
+	conns []transport.Client
+	// CumulativeWriteTime accumulates client-observed put response
+	// time, the Figure 9(a)/(b) metric.
+	cumWrite time.Duration
+}
+
+// NewClient connects rank identity app (e.g. "sim/12") to the group.
+func (p *Pool) NewClient(app string) (*Client, error) {
+	c := &Client{app: app, pool: p, conns: make([]transport.Client, p.cfg.NServers)}
+	for i, addr := range p.addrs {
+		conn, err := p.tr.Dial(addr)
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("staging: dial server %d: %w", i, err)
+		}
+		c.conns[i] = conn
+	}
+	return c, nil
+}
+
+// App returns the client's component/rank identity.
+func (c *Client) App() string { return c.app }
+
+// Close releases the client's connections.
+func (c *Client) Close() error {
+	var first error
+	for _, conn := range c.conns {
+		if conn == nil {
+			continue
+		}
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Reconnect re-dials all servers; workflow_restart uses it to rebuild
+// the staging client after a component recovers (paper §III-C).
+func (c *Client) Reconnect() error {
+	for i, addr := range c.pool.addrs {
+		if c.conns[i] != nil {
+			c.conns[i].Close()
+		}
+		conn, err := c.pool.tr.Dial(addr)
+		if err != nil {
+			return fmt.Errorf("staging: re-dial server %d: %w", i, err)
+		}
+		c.conns[i] = conn
+	}
+	return nil
+}
+
+// CumulativeWriteTime returns the client-observed total put response
+// time so far.
+func (c *Client) CumulativeWriteTime() time.Duration { return c.cumWrite }
+
+// put is the shared implementation of Put and PutWithLog.
+func (c *Client) put(name string, version int64, bbox domain.BBox, data []byte, logged bool) error {
+	if want := domain.BufLen(bbox, c.pool.cfg.ElemSize); len(data) != want {
+		return fmt.Errorf("staging: put %q %v: buffer %d bytes, want %d", name, bbox, len(data), want)
+	}
+	start := time.Now()
+	defer func() { c.cumWrite += time.Since(start) }()
+	for _, s := range c.pool.index.ServersFor(bbox) {
+		for _, cell := range c.pool.serverCells(s) {
+			region, ok := cell.Intersect(bbox)
+			if !ok {
+				continue
+			}
+			piece := Piece{
+				BBox: region,
+				Data: domain.Extract(data, bbox, region, c.pool.cfg.ElemSize),
+			}
+			req := PutReq{
+				App: c.app, Name: name, Version: version,
+				ElemSize: c.pool.cfg.ElemSize, Piece: piece, Logged: logged,
+			}
+			if _, err := c.conns[s].Call(req); err != nil {
+				return fmt.Errorf("staging: put %q v%d to server %d: %w", name, version, s, err)
+			}
+		}
+	}
+	return nil
+}
+
+// get is the shared implementation of Get and GetWithLog.
+func (c *Client) get(name string, version int64, bbox domain.BBox, logged bool) ([]byte, int64, error) {
+	dst := make([]byte, domain.BufLen(bbox, c.pool.cfg.ElemSize))
+	resolved := int64(NoVersion)
+	var covered int64
+	for _, s := range c.pool.index.ServersFor(bbox) {
+		req := GetReq{App: c.app, Name: name, Version: version, BBox: bbox, Logged: logged}
+		raw, err := c.conns[s].Call(req)
+		if err != nil {
+			return nil, 0, fmt.Errorf("staging: get %q v%d from server %d: %w", name, version, s, err)
+		}
+		resp, ok := raw.(GetResp)
+		if !ok {
+			return nil, 0, fmt.Errorf("staging: get %q: bad response type %T", name, raw)
+		}
+		if resolved == NoVersion {
+			resolved = resp.Version
+		} else if resolved != resp.Version {
+			return nil, 0, fmt.Errorf("staging: get %q: servers resolved versions %d and %d; use explicit versions", name, resolved, resp.Version)
+		}
+		for _, piece := range resp.Pieces {
+			region, ok := piece.BBox.Intersect(bbox)
+			if !ok {
+				continue
+			}
+			domain.CopyRegion(dst, bbox, piece.Data, piece.BBox, region, c.pool.cfg.ElemSize)
+			covered += region.Volume()
+		}
+	}
+	if covered != bbox.Volume() {
+		return nil, 0, fmt.Errorf("staging: get %q v%d %v: incomplete coverage %d/%d cells", name, version, bbox, covered, bbox.Volume())
+	}
+	return dst, resolved, nil
+}
+
+// Put stages data covering bbox as version of name using the original
+// (non-logged) staging semantics: only the latest version is retained.
+func (c *Client) Put(name string, version int64, bbox domain.BBox, data []byte) error {
+	return c.put(name, version, bbox, data, false)
+}
+
+// Get reads version of name over bbox. Version NoVersion reads the
+// latest, provided all touched servers agree on it.
+func (c *Client) Get(name string, version int64, bbox domain.BBox) ([]byte, int64, error) {
+	return c.get(name, version, bbox, false)
+}
+
+// PutWithLog stages data through the crash-consistent path: the servers
+// log the write events so a recovering producer's re-issued writes are
+// suppressed (dspaces_put_with_log in Table I).
+func (c *Client) PutWithLog(name string, version int64, bbox domain.BBox, data []byte) error {
+	return c.put(name, version, bbox, data, true)
+}
+
+// GetWithLog reads through the crash-consistent path: during replay the
+// servers return the logged version of the data
+// (dspaces_get_with_log in Table I).
+func (c *Client) GetWithLog(name string, version int64, bbox domain.BBox) ([]byte, int64, error) {
+	return c.get(name, version, bbox, true)
+}
+
+// WorkflowCheck notifies all staging servers that this rank has
+// checkpointed (workflow_check in Table I). It returns the bytes freed
+// by the end-of-cycle garbage collection.
+func (c *Client) WorkflowCheck() (int64, error) {
+	var freed int64
+	for s, conn := range c.conns {
+		raw, err := conn.Call(CheckpointReq{App: c.app})
+		if err != nil {
+			return freed, fmt.Errorf("staging: checkpoint on server %d: %w", s, err)
+		}
+		freed += raw.(CheckpointResp).FreedBytes
+	}
+	return freed, nil
+}
+
+// WorkflowRestart rebuilds the staging client and switches this rank
+// into replay mode on all servers (workflow_restart in Table I). It
+// returns the total number of events that will be replayed.
+func (c *Client) WorkflowRestart() (int, error) {
+	if err := c.Reconnect(); err != nil {
+		return 0, err
+	}
+	total := 0
+	for s, conn := range c.conns {
+		raw, err := conn.Call(RecoveryReq{App: c.app})
+		if err != nil {
+			return total, fmt.Errorf("staging: recovery on server %d: %w", s, err)
+		}
+		total += raw.(RecoveryResp).ReplayEvents
+	}
+	return total, nil
+}
+
+// Versions returns the union of staged versions of name across servers.
+func (c *Client) Versions(name string) ([]int64, error) {
+	seen := map[int64]struct{}{}
+	for s, conn := range c.conns {
+		raw, err := conn.Call(QueryReq{Name: name})
+		if err != nil {
+			return nil, fmt.Errorf("staging: query on server %d: %w", s, err)
+		}
+		for _, v := range raw.(QueryResp).Versions {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortInt64s(out)
+	return out, nil
+}
+
+// Stats aggregates accounting across all servers.
+func (c *Client) Stats() (StatsResp, error) {
+	var agg StatsResp
+	for s, conn := range c.conns {
+		raw, err := conn.Call(StatsReq{})
+		if err != nil {
+			return agg, fmt.Errorf("staging: stats on server %d: %w", s, err)
+		}
+		st := raw.(StatsResp)
+		agg.StoreBytes += st.StoreBytes
+		agg.LogMetaBytes += st.LogMetaBytes
+		agg.ShardBytes += st.ShardBytes
+		agg.Objects += st.Objects
+		agg.Puts += st.Puts
+		agg.Gets += st.Gets
+		agg.SuppressedPuts += st.SuppressedPuts
+		agg.ReplayGets += st.ReplayGets
+		agg.GCFreedBytes += st.GCFreedBytes
+		agg.PutNanos += st.PutNanos
+	}
+	return agg, nil
+}
+
+// Trace fetches the recent protocol trace of every server, rendered
+// and prefixed with the server id.
+func (c *Client) Trace(limit int) ([]string, error) {
+	var out []string
+	for sid, conn := range c.conns {
+		raw, err := conn.Call(TraceReq{Limit: limit})
+		if err != nil {
+			return nil, fmt.Errorf("staging: trace on server %d: %w", sid, err)
+		}
+		for _, rec := range raw.(TraceResp).Records {
+			out = append(out, fmt.Sprintf("s%d %s", sid, rec))
+		}
+	}
+	return out, nil
+}
+
+// lockServer is the group member hosting the lock table.
+const lockServer = 0
+
+func (c *Client) lockOp(name string, write, release bool) error {
+	req := LockReq{Name: name, Holder: c.app, Write: write, Release: release}
+	if _, err := c.conns[lockServer].Call(req); err != nil {
+		op := "lock"
+		if release {
+			op = "unlock"
+		}
+		return fmt.Errorf("staging: %s %q: %w", op, name, err)
+	}
+	return nil
+}
+
+// LockOnWrite takes the exclusive write lock on name
+// (dspaces_lock_on_write). Producers bracket each coupling cycle's puts
+// with it so readers never observe a torn update.
+func (c *Client) LockOnWrite(name string) error { return c.lockOp(name, true, false) }
+
+// UnlockOnWrite releases the write lock on name.
+func (c *Client) UnlockOnWrite(name string) error { return c.lockOp(name, true, true) }
+
+// LockOnRead takes a shared read lock on name (dspaces_lock_on_read).
+func (c *Client) LockOnRead(name string) error { return c.lockOp(name, false, false) }
+
+// UnlockOnRead releases the read lock on name.
+func (c *Client) UnlockOnRead(name string) error { return c.lockOp(name, false, true) }
+
+// ShardConn exposes the raw per-server connection for the resilience
+// layer (internal/corec), which places shards explicitly.
+func (c *Client) ShardConn(server int) transport.Client { return c.conns[server] }
+
+// NumServers returns the group size.
+func (c *Client) NumServers() int { return len(c.conns) }
+
+func sortInt64s(a []int64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package staging
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/transport"
+)
+
+// TestRandomOpsAgainstReferenceModel drives randomized logged put/get/
+// checkpoint/restart sequences against the staging group and checks
+// every read against a flat reference model: a map of
+// (name, version) -> full-domain buffer maintained with plain slice
+// writes. Any divergence — wrong bytes, wrong version, spurious
+// error — fails the property.
+func TestRandomOpsAgainstReferenceModel(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			fuzzOnce(t, seed)
+		})
+	}
+}
+
+func fuzzOnce(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	global := domain.Box3(0, 0, 0, 31, 31, 15)
+	const elem = 4
+	g, err := StartGroup(transport.NewInProc(), fmt.Sprintf("fuzz%d", seed), Config{
+		Global: global, NServers: 1 + int(seed)%3, Bits: 2, ElemSize: elem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	prod, err := g.NewClient("p/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	cons, err := g.NewClient("c/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+
+	// Reference: full-domain content per (name, version).
+	ref := map[string]map[int64][]byte{}
+	names := []string{"u", "v"}
+	version := map[string]int64{}
+
+	randBox := func() domain.BBox {
+		x0 := rng.Int63n(28)
+		y0 := rng.Int63n(28)
+		z0 := rng.Int63n(12)
+		return domain.Box3(x0, y0, z0, x0+1+rng.Int63n(31-x0-1), y0+1+rng.Int63n(31-y0-1), z0+1+rng.Int63n(15-z0-1))
+	}
+
+	for op := 0; op < 300; op++ {
+		name := names[rng.Intn(len(names))]
+		switch rng.Intn(10) {
+		case 0, 1, 2, 3: // put a new version of the full domain
+			version[name]++
+			v := version[name]
+			buf := make([]byte, domain.BufLen(global, elem))
+			rng.Read(buf)
+			if err := prod.PutWithLog(name, v, global, buf); err != nil {
+				t.Fatalf("op %d: put %s v%d: %v", op, name, v, err)
+			}
+			if ref[name] == nil {
+				ref[name] = map[int64][]byte{}
+			}
+			ref[name][v] = buf
+		case 4, 5, 6, 7: // read a random sub-box of the newest version
+			v := version[name]
+			if v == 0 {
+				continue
+			}
+			q := randBox()
+			got, gotV, err := cons.GetWithLog(name, v, q)
+			if err != nil {
+				t.Fatalf("op %d: get %s v%d %v: %v", op, name, v, q, err)
+			}
+			if gotV != v {
+				t.Fatalf("op %d: got version %d, want %d", op, gotV, v)
+			}
+			want := domain.Extract(ref[name][v], global, q, elem)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("op %d: get %s v%d %v: content mismatch", op, name, v, q)
+			}
+		case 8: // consumer checkpoint: allows GC of old versions
+			if _, err := cons.WorkflowCheck(); err != nil {
+				t.Fatalf("op %d: checkpoint: %v", op, err)
+			}
+		case 9: // consumer crash + restart, then checkpoint to end replay
+			if _, err := cons.WorkflowRestart(); err != nil {
+				t.Fatalf("op %d: restart: %v", op, err)
+			}
+			// A random re-execution would have to re-issue the exact
+			// logged sequence; the fuzzer instead ends replay mode
+			// deterministically with a checkpoint (legal: the component
+			// state is now ahead of the window).
+			if _, err := cons.WorkflowCheck(); err != nil {
+				t.Fatalf("op %d: post-restart checkpoint: %v", op, err)
+			}
+		}
+	}
+
+	// Final invariant: the newest version of every object is readable
+	// and intact over the whole domain.
+	for _, name := range names {
+		v := version[name]
+		if v == 0 {
+			continue
+		}
+		got, _, err := cons.GetWithLog(name, v, global)
+		if err != nil {
+			t.Fatalf("final read %s v%d: %v", name, v, err)
+		}
+		if !bytes.Equal(got, ref[name][v]) {
+			t.Fatalf("final read %s v%d: content mismatch", name, v)
+		}
+	}
+}

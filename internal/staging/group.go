@@ -1,0 +1,93 @@
+package staging
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"gospaces/internal/transport"
+)
+
+// Group is a running set of staging servers plus the Pool clients use
+// to reach them.
+type Group struct {
+	*Pool
+	tr      transport.Transport
+	addrs   []string
+	servers []*Server
+	closers []io.Closer
+}
+
+// StartGroup launches cfg.NServers staging servers on tr at addresses
+// "<prefix>/<id>" and returns the group handle.
+func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, error) {
+	g := &Group{tr: tr, servers: make([]*Server, cfg.NServers), closers: make([]io.Closer, cfg.NServers)}
+	addrs := make([]string, cfg.NServers)
+	for i := 0; i < cfg.NServers; i++ {
+		srv := NewServer(i)
+		srv.SetMemoryBudget(cfg.MemoryBudgetPerServer)
+		// A prefix containing ":" is a TCP host:port (use ":0" for
+		// ephemeral ports); otherwise addresses are "<prefix>/<id>".
+		addr := fmt.Sprintf("%s/%d", prefix, i)
+		if strings.Contains(prefix, ":") {
+			addr = prefix
+		}
+		closer, err := tr.Listen(addr, srv.Handle)
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("staging: start server %d: %w", i, err)
+		}
+		// Transports with dynamic binding report the real address.
+		if a, ok := closer.(interface{ Addr() string }); ok {
+			addr = a.Addr()
+		}
+		g.servers[i] = srv
+		g.closers[i] = closer
+		addrs[i] = addr
+	}
+	g.addrs = addrs
+	pool, err := NewPool(tr, addrs, cfg)
+	if err != nil {
+		g.Close()
+		return nil, err
+	}
+	g.Pool = pool
+	return g, nil
+}
+
+// ReplaceServer simulates losing staging server id and bringing up an
+// empty replacement at the same address: all object, log, and shard
+// state on that server is gone. Clients keep working through the same
+// address; shard data protected by the resilience layer
+// (internal/corec) is recoverable with Rebuild, and object data is
+// recoverable from producers via the crash-consistency protocol.
+func (g *Group) ReplaceServer(id int) error {
+	if id < 0 || id >= len(g.servers) {
+		return fmt.Errorf("staging: no server %d", id)
+	}
+	if err := g.closers[id].Close(); err != nil {
+		return fmt.Errorf("staging: stop server %d: %w", id, err)
+	}
+	srv := NewServer(id)
+	closer, err := g.tr.Listen(g.addrs[id], srv.Handle)
+	if err != nil {
+		return fmt.Errorf("staging: restart server %d: %w", id, err)
+	}
+	g.servers[id] = srv
+	g.closers[id] = closer
+	return nil
+}
+
+// Server returns the id-th server (for in-proc inspection in tests).
+func (g *Group) Server(id int) *Server { return g.servers[id] }
+
+// Close stops all servers.
+func (g *Group) Close() error {
+	var first error
+	for _, c := range g.closers {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,150 @@
+package staging
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"time"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/synth"
+)
+
+// TestLockCoupledCycle drives the DataSpaces coupling idiom through the
+// staging protocol: the producer brackets each version's puts with the
+// write lock, consumers bracket reads with read locks, and no consumer
+// ever observes a torn (partially written) version.
+func TestLockCoupledCycle(t *testing.T) {
+	g := testGroup(t, 4)
+	global := g.Config().Global
+	field := synth.NewField("f", global, 8)
+	dec, err := domain.NewDecomposition(global, []int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const steps = 8
+	var produced atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(2)
+	errs := make(chan error, 8)
+
+	// Producer: two rank chunks per version, under one write lock.
+	go func() {
+		defer wg.Done()
+		c, err := g.NewClient("sim/0")
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		for ts := int64(1); ts <= steps; ts++ {
+			if err := c.LockOnWrite("f"); err != nil {
+				errs <- err
+				return
+			}
+			for r := 0; r < dec.NRanks; r++ {
+				box, _ := dec.RankBox(r)
+				if err := c.PutWithLog("f", ts, box, field.Fill(ts, box)); err != nil {
+					errs <- err
+					return
+				}
+			}
+			produced.Store(ts)
+			if err := c.UnlockOnWrite("f"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+
+	// Consumer: polls under the read lock; whatever the latest complete
+	// version is, it must read back intact.
+	go func() {
+		defer wg.Done()
+		c, err := g.NewClient("ana/0")
+		if err != nil {
+			errs <- err
+			return
+		}
+		defer c.Close()
+		seen := int64(0)
+		for seen < steps {
+			if err := c.LockOnRead("f"); err != nil {
+				errs <- err
+				return
+			}
+			ts := produced.Load()
+			if ts > seen {
+				data, _, err := c.GetWithLog("f", ts, global)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if field.Verify(ts, global, data) >= 0 {
+					errs <- errTorn(ts)
+					return
+				}
+				seen = ts
+			}
+			if err := c.UnlockOnRead("f"); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errTorn int64
+
+func (e errTorn) Error() string { return "torn read at version " + string(rune('0'+e)) }
+
+func TestLockErrorsSurfaceToClient(t *testing.T) {
+	g := testGroup(t, 2)
+	c, _ := g.NewClient("x/0")
+	defer c.Close()
+	if err := c.UnlockOnWrite("never-locked"); err == nil ||
+		!strings.Contains(err.Error(), "not held") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := c.LockOnRead("f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.LockOnWrite("f"); err == nil {
+		t.Fatal("upgrade allowed over RPC")
+	}
+}
+
+// TestWorkflowRestartReleasesLocks: a component that dies holding locks
+// must not dam the workflow after recovery.
+func TestWorkflowRestartReleasesLocks(t *testing.T) {
+	g := testGroup(t, 2)
+	dead, _ := g.NewClient("dead/0")
+	defer dead.Close()
+	if err := dead.LockOnWrite("f"); err != nil {
+		t.Fatal(err)
+	}
+	// "dead/0" crashes and restarts: workflow_restart must free its lock.
+	if _, err := dead.WorkflowRestart(); err != nil {
+		t.Fatal(err)
+	}
+	other, _ := g.NewClient("alive/0")
+	defer other.Close()
+	done := make(chan error, 1)
+	go func() { done <- other.LockOnWrite("f") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("lock still held by recovered component")
+	}
+}

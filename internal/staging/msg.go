@@ -1,0 +1,188 @@
+// Package staging implements the DataSpaces-like data staging service:
+// a group of in-memory servers that jointly store versioned array
+// regions of a global domain, addressed by bounding box. The package
+// provides both the original staging semantics (keep the latest version
+// of each object) and the paper's crash-consistent semantics, where
+// every put/get is logged in per-component event queues (internal/wlog)
+// so failed components can replay (PutWithLog, GetWithLog,
+// WorkflowCheck, WorkflowRestart — Table I of the paper).
+package staging
+
+import (
+	"encoding/gob"
+
+	"gospaces/internal/domain"
+)
+
+// Piece is one stored array fragment: a bbox and its row-major payload.
+type Piece struct {
+	BBox domain.BBox
+	Data []byte
+}
+
+// PutReq writes one piece of an object version to a server.
+type PutReq struct {
+	App      string // component/rank identity, e.g. "sim/12"
+	Name     string
+	Version  int64
+	ElemSize int
+	Piece    Piece
+	Logged   bool // true: crash-consistent path with event logging
+}
+
+// PutResp acknowledges a put.
+type PutResp struct {
+	// Suppressed is true when the write was a replayed duplicate and
+	// the payload was already staged (paper Fig. 2, case 2).
+	Suppressed bool
+}
+
+// GetReq reads the fragments of an object version intersecting a bbox.
+// Version NoVersion (-1) means "latest on this server".
+type GetReq struct {
+	App     string
+	Name    string
+	Version int64
+	BBox    domain.BBox
+	Logged  bool
+}
+
+// GetResp carries the resolved version and matching fragments.
+type GetResp struct {
+	Version int64
+	Pieces  []Piece
+	// FromLog is true when the version was dictated by the replay log.
+	FromLog bool
+}
+
+// CheckpointReq notifies the staging server of a component checkpoint
+// (workflow_check in Table I).
+type CheckpointReq struct {
+	App string
+}
+
+// CheckpointResp returns the checkpoint event id assigned by the server.
+type CheckpointResp struct {
+	ChkID string
+	// FreedBytes is the payload freed by the garbage collection pass
+	// that runs at the end of the checkpoint cycle.
+	FreedBytes int64
+}
+
+// RecoveryReq notifies the staging server that a component restarted
+// from its last checkpoint (workflow_restart in Table I).
+type RecoveryReq struct {
+	App string
+}
+
+// RecoveryResp summarizes the replay script generated for the component.
+type RecoveryResp struct {
+	ReplayEvents int
+}
+
+// QueryReq asks which versions of an object a server holds.
+type QueryReq struct {
+	Name string
+}
+
+// QueryResp lists versions ascending.
+type QueryResp struct {
+	Versions []int64
+}
+
+// ShardPutReq stores an opaque resilience shard (used by the CoREC
+// layer, internal/corec).
+type ShardPutReq struct {
+	Key   string
+	Shard int
+	Data  []byte
+}
+
+// ShardPutResp acknowledges a shard write.
+type ShardPutResp struct{}
+
+// ShardGetReq fetches a resilience shard.
+type ShardGetReq struct {
+	Key   string
+	Shard int
+}
+
+// ShardGetResp returns the shard payload; Found is false when absent.
+type ShardGetResp struct {
+	Data  []byte
+	Found bool
+}
+
+// ShardDropReq deletes all shards of a key on this server.
+type ShardDropReq struct {
+	Key string
+}
+
+// ShardDropResp acknowledges the drop.
+type ShardDropResp struct{}
+
+// LockReq acquires or releases a named reader/writer lock hosted by
+// server 0 of the group (dspaces_lock_on_read/write).
+type LockReq struct {
+	Name    string
+	Holder  string
+	Write   bool
+	Release bool
+}
+
+// LockResp acknowledges a lock operation.
+type LockResp struct{}
+
+// TraceReq fetches the server's recent protocol trace.
+type TraceReq struct {
+	// Limit caps the records returned (0 = all retained).
+	Limit int
+}
+
+// TraceResp carries rendered trace records, oldest first.
+type TraceResp struct {
+	Records []string
+}
+
+// StatsReq asks a server for its resource accounting.
+type StatsReq struct{}
+
+// StatsResp reports server-side accounting used by the Figure 9
+// experiments.
+type StatsResp struct {
+	StoreBytes     int64 // resident object payload bytes
+	LogMetaBytes   int64 // resident event-record bytes
+	ShardBytes     int64 // resilience shard bytes (corec)
+	Objects        int
+	Puts           int64
+	Gets           int64
+	SuppressedPuts int64
+	ReplayGets     int64
+	GCFreedBytes   int64
+	PutNanos       int64 // cumulative server-side put handling time
+}
+
+func init() {
+	gob.Register(PutReq{})
+	gob.Register(PutResp{})
+	gob.Register(GetReq{})
+	gob.Register(GetResp{})
+	gob.Register(CheckpointReq{})
+	gob.Register(CheckpointResp{})
+	gob.Register(RecoveryReq{})
+	gob.Register(RecoveryResp{})
+	gob.Register(QueryReq{})
+	gob.Register(QueryResp{})
+	gob.Register(ShardPutReq{})
+	gob.Register(ShardPutResp{})
+	gob.Register(ShardGetReq{})
+	gob.Register(ShardGetResp{})
+	gob.Register(ShardDropReq{})
+	gob.Register(ShardDropResp{})
+	gob.Register(LockReq{})
+	gob.Register(LockResp{})
+	gob.Register(TraceReq{})
+	gob.Register(TraceResp{})
+	gob.Register(StatsReq{})
+	gob.Register(StatsResp{})
+}

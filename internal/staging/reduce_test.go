@@ -1,0 +1,138 @@
+package staging
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/transport"
+)
+
+// stageCells stages a buffer whose cell i (row-major) holds value i,
+// split across two rank chunks so reductions cross servers and pieces.
+func stageCells(t *testing.T, g *Group, elem int) (domain.BBox, *Client) {
+	t.Helper()
+	b := domain.Box3(0, 0, 0, 7, 7, 3)
+	c, err := g.NewClient("red/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	dec, err := domain.NewDecomposition(b, []int{2, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole := make([]byte, domain.BufLen(b, elem))
+	for i := 0; i < int(b.Volume()); i++ {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], uint64(i))
+		copy(whole[i*elem:(i+1)*elem], tmp[:elem])
+	}
+	for r := 0; r < dec.NRanks; r++ {
+		rb, _ := dec.RankBox(r)
+		if err := c.Put("cells", 1, rb, domain.Extract(whole, b, rb, elem)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b, c
+}
+
+func TestReduceWholeDomain(t *testing.T) {
+	g := testGroup(t, 4)
+	b, c := stageCells(t, g, 8)
+	n := float64(b.Volume())
+
+	v, cells, err := c.Reduce("cells", 1, b, ReduceMin)
+	if err != nil || v != 0 || cells != int64(n) {
+		t.Fatalf("min = %f cells=%d err=%v", v, cells, err)
+	}
+	v, _, err = c.Reduce("cells", 1, b, ReduceMax)
+	if err != nil || v != n-1 {
+		t.Fatalf("max = %f err=%v", v, err)
+	}
+	v, _, err = c.Reduce("cells", 1, b, ReduceSum)
+	if err != nil || v != n*(n-1)/2 {
+		t.Fatalf("sum = %f want %f err=%v", v, n*(n-1)/2, err)
+	}
+	v, _, err = c.Reduce("cells", 1, b, ReduceCount)
+	if err != nil || v != n {
+		t.Fatalf("count = %f err=%v", v, err)
+	}
+}
+
+func TestReduceSubRegion(t *testing.T) {
+	g := testGroup(t, 4)
+	b, c := stageCells(t, g, 8)
+	// Single cell at (1,2,3): row-major index 1*8*4 + 2*4 + 3 = 43.
+	q := domain.Box3(1, 2, 3, 1, 2, 3)
+	v, cells, err := c.Reduce("cells", 1, q, ReduceSum)
+	if err != nil || cells != 1 || v != 43 {
+		t.Fatalf("cell sum = %f cells=%d err=%v", v, cells, err)
+	}
+	// A plane.
+	plane := domain.Box3(0, 0, 0, 7, 7, 0)
+	_, cells, err = c.Reduce("cells", 1, plane, ReduceCount)
+	if err != nil || cells != 64 {
+		t.Fatalf("plane cells = %d err=%v", cells, err)
+	}
+	_ = b
+}
+
+func TestReduceLatestAndErrors(t *testing.T) {
+	g := testGroup(t, 2)
+	b, c := stageCells(t, g, 8)
+	if _, _, err := c.Reduce("cells", NoVersion, b, ReduceMax); err != nil {
+		t.Fatalf("latest reduce: %v", err)
+	}
+	if _, _, err := c.Reduce("ghost", 1, b, ReduceSum); err == nil {
+		t.Fatal("reduce of absent object succeeded")
+	}
+	if _, _, err := c.Reduce("cells", 1, b, ReduceOp(42)); err == nil {
+		t.Fatal("bad op accepted")
+	}
+	if math.IsInf(0, 1) {
+		t.Fatal("impossible")
+	}
+}
+
+func TestReduceNarrowElements(t *testing.T) {
+	g := testGroup(t, 2)
+	// Re-stage with 2-byte cells in a fresh group namespace.
+	b := domain.Box3(0, 0, 0, 3, 3, 1)
+	c, _ := g.NewClient("narrow/0")
+	defer c.Close()
+	// ElemSize of the group is 8; use a dedicated group for elem=2.
+	g2, err := StartGroup(transport.NewInProc(), "narrow", Config{
+		Global: b, NServers: 2, Bits: 2, ElemSize: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	c2, _ := g2.NewClient("narrow/0")
+	defer c2.Close()
+	buf := make([]byte, domain.BufLen(b, 2))
+	for i := 0; i < int(b.Volume()); i++ {
+		binary.LittleEndian.PutUint16(buf[i*2:(i+1)*2], uint16(i))
+	}
+	if err := c2.Put("w", 1, b, buf); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := c2.Reduce("w", 1, b, ReduceMax)
+	if err != nil || v != float64(b.Volume()-1) {
+		t.Fatalf("max = %f err=%v", v, err)
+	}
+}
+
+func TestReduceOpStrings(t *testing.T) {
+	want := map[ReduceOp]string{ReduceMin: "min", ReduceMax: "max", ReduceSum: "sum", ReduceCount: "count"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Fatalf("%d -> %s", op, op.String())
+		}
+	}
+	if ReduceOp(9).String() != "op(9)" {
+		t.Fatal("unknown op string")
+	}
+}

@@ -1,0 +1,323 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"time"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/locks"
+	"gospaces/internal/metrics"
+	"gospaces/internal/store"
+	"gospaces/internal/trace"
+	"gospaces/internal/wlog"
+)
+
+// NoVersion marks a get request for the latest available version.
+const NoVersion = wlog.NoVersion
+
+// castagnoli is the CRC-32C table used to protect logged payloads.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrOverBudget is returned when a put cannot fit in the server's
+// memory budget even after garbage collection.
+var ErrOverBudget = errors.New("staging: server memory budget exhausted")
+
+// Server is one staging server: a shard of the staging area holding the
+// object pieces whose cells the DHT assigns to it, plus that shard's
+// event log.
+type Server struct {
+	id     int
+	budget int64 // max resident object bytes; 0 = unlimited
+	store  *store.Store
+	log    *wlog.Log
+	reg    *metrics.Registry
+
+	locks *locks.Manager
+	trace *trace.Buffer
+
+	mu         sync.Mutex
+	shards     map[string]map[int][]byte
+	shardBytes int64
+}
+
+// NewServer creates staging server id.
+func NewServer(id int) *Server {
+	return &Server{
+		id:     id,
+		store:  store.New(),
+		log:    wlog.New(),
+		reg:    metrics.NewRegistry(),
+		locks:  locks.NewManager(),
+		trace:  trace.New(512),
+		shards: make(map[string]map[int][]byte),
+	}
+}
+
+// ID returns the server's id within its group.
+func (s *Server) ID() int { return s.id }
+
+// SetMemoryBudget caps the server's resident object bytes (0 removes
+// the cap).
+func (s *Server) SetMemoryBudget(n int64) { s.budget = n }
+
+// Handle serves one staging protocol request; it is the
+// transport.Handler for this server.
+func (s *Server) Handle(req any) (any, error) {
+	switch r := req.(type) {
+	case PutReq:
+		return s.handlePut(r)
+	case GetReq:
+		return s.handleGet(r)
+	case CheckpointReq:
+		return s.handleCheckpoint(r)
+	case RecoveryReq:
+		return s.handleRecovery(r)
+	case QueryReq:
+		return QueryResp{Versions: s.store.Versions(r.Name)}, nil
+	case ShardPutReq:
+		return s.handleShardPut(r)
+	case ShardGetReq:
+		return s.handleShardGet(r)
+	case ShardDropReq:
+		return s.handleShardDrop(r)
+	case LockReq:
+		return s.handleLock(r)
+	case TraceReq:
+		return s.handleTrace(r)
+	case ReduceReq:
+		return s.handleReduce(r)
+	case StatsReq:
+		return s.stats(), nil
+	default:
+		return nil, fmt.Errorf("staging: server %d: unknown request type %T", s.id, req)
+	}
+}
+
+func (s *Server) handlePut(r PutReq) (any, error) {
+	start := time.Now()
+	defer func() {
+		s.reg.Counter("put_nanos").Add(time.Since(start).Nanoseconds())
+	}()
+	s.reg.Counter("puts").Inc()
+	if r.Piece.BBox.IsEmpty() {
+		return nil, fmt.Errorf("staging: put %q with empty bbox", r.Name)
+	}
+	if want := domain.BufLen(r.Piece.BBox, r.ElemSize); len(r.Piece.Data) != want {
+		return nil, fmt.Errorf("staging: put %q %v: payload %d bytes, want %d", r.Name, r.Piece.BBox, len(r.Piece.Data), want)
+	}
+	if s.budget > 0 && s.store.BytesUsed()+int64(len(r.Piece.Data)) > s.budget {
+		// Try to make room before rejecting.
+		s.collectGarbage()
+		if s.store.BytesUsed()+int64(len(r.Piece.Data)) > s.budget {
+			return nil, fmt.Errorf("%w: %d resident + %d incoming > %d",
+				ErrOverBudget, s.store.BytesUsed(), len(r.Piece.Data), s.budget)
+		}
+	}
+	if r.Logged {
+		suppress, err := s.log.BeginPut(r.App, r.Name, r.Version, r.Piece.BBox)
+		if err != nil {
+			return nil, err
+		}
+		if suppress {
+			s.reg.Counter("suppressed_puts").Inc()
+			s.trace.Add(trace.Record{Op: trace.OpSuppressedPut, App: r.App, Name: r.Name, Version: r.Version})
+			return PutResp{Suppressed: true}, nil
+		}
+	}
+	// Ingest copy: the staging server owns its buffers (clients may
+	// reuse theirs immediately, as with RDMA-registered memory).
+	data := append([]byte(nil), r.Piece.Data...)
+	obj := &store.Object{
+		Name:     r.Name,
+		Version:  r.Version,
+		BBox:     r.Piece.BBox,
+		ElemSize: r.ElemSize,
+		Data:     data,
+	}
+	if r.Logged {
+		// Logged payloads may be re-served long after ingest (replay);
+		// checksum them so the log cannot silently serve corrupt data.
+		obj.CRC = crc32.Checksum(data, castagnoli)
+	}
+	if err := s.store.Put(obj); err != nil {
+		return nil, err
+	}
+	if r.Logged {
+		s.log.CommitPut(r.App, r.Name, r.Version, r.Piece.BBox, obj.Bytes())
+		s.trace.Add(trace.Record{Op: trace.OpPut, App: r.App, Name: r.Name, Version: r.Version, Bytes: obj.Bytes()})
+	} else {
+		// Original staging semantics: only the most recently put
+		// version is kept. Using the put version (not the max) lets a
+		// globally rolled-back workflow rewind the staged sequence.
+		s.store.KeepOnly(r.Name, r.Version)
+	}
+	return PutResp{}, nil
+}
+
+func (s *Server) handleGet(r GetReq) (any, error) {
+	s.reg.Counter("gets").Inc()
+	version := r.Version
+	fromLog := false
+	if r.Logged {
+		var err error
+		version, fromLog, err = s.log.BeginGet(r.App, r.Name, r.Version, r.BBox)
+		if err != nil {
+			return nil, err
+		}
+		if fromLog {
+			s.reg.Counter("replay_gets").Inc()
+			s.trace.Add(trace.Record{Op: trace.OpReplayGet, App: r.App, Name: r.Name, Version: version})
+		}
+	}
+	if version == NoVersion {
+		v, ok := s.store.LatestVersion(r.Name, -1)
+		if !ok {
+			return nil, fmt.Errorf("staging: get %q: no versions staged", r.Name)
+		}
+		version = v
+	}
+	objs := s.store.GetVersion(r.Name, version, r.BBox)
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("staging: get %q v%d %v: not staged on server %d", r.Name, version, r.BBox, s.id)
+	}
+	resp := GetResp{Version: version, FromLog: fromLog, Pieces: make([]Piece, 0, len(objs))}
+	var bytes int64
+	for _, o := range objs {
+		if fromLog && o.CRC != 0 && crc32.Checksum(o.Data, castagnoli) != o.CRC {
+			return nil, fmt.Errorf("staging: logged payload %q v%d %v failed integrity check", o.Name, o.Version, o.BBox)
+		}
+		resp.Pieces = append(resp.Pieces, Piece{BBox: o.BBox, Data: o.Data})
+		bytes += o.Bytes()
+	}
+	if r.Logged && !fromLog {
+		s.log.CommitGet(r.App, r.Name, version, r.BBox, bytes)
+		s.trace.Add(trace.Record{Op: trace.OpGet, App: r.App, Name: r.Name, Version: version, Bytes: bytes})
+	}
+	return resp, nil
+}
+
+func (s *Server) handleCheckpoint(r CheckpointReq) (any, error) {
+	chkID, _ := s.log.OnCheckpoint(r.App)
+	s.trace.Add(trace.Record{Op: trace.OpCheckpoint, App: r.App, Detail: chkID})
+	freed := s.collectGarbage()
+	if freed > 0 {
+		s.trace.Add(trace.Record{Op: trace.OpGC, Bytes: freed})
+	}
+	return CheckpointResp{ChkID: chkID, FreedBytes: freed}, nil
+}
+
+// collectGarbage deletes logged payload versions no component can
+// re-read, always keeping the newest version of every object (paper
+// §III-A2).
+func (s *Server) collectGarbage() int64 {
+	var freed int64
+	for _, name := range s.store.Names() {
+		frontier := s.log.PayloadFrontier(name)
+		freed += s.store.DropBelow(name, frontier, true)
+	}
+	s.reg.Counter("gc_freed_bytes").Add(freed)
+	return freed
+}
+
+func (s *Server) handleRecovery(r RecoveryReq) (any, error) {
+	script := s.log.OnRecovery(r.App)
+	s.trace.Add(trace.Record{Op: trace.OpRecovery, App: r.App, Bytes: int64(len(script))})
+	// A failed component must not dam the workflow with locks it held
+	// when it died; recovery drops them (part of rebuilding the staging
+	// client, §III-C).
+	s.locks.ReleaseAll(r.App)
+	return RecoveryResp{ReplayEvents: len(script)}, nil
+}
+
+func (s *Server) handleTrace(r TraceReq) (any, error) {
+	snap := s.trace.Snapshot()
+	if r.Limit > 0 && len(snap) > r.Limit {
+		snap = snap[len(snap)-r.Limit:]
+	}
+	out := make([]string, len(snap))
+	for i, rec := range snap {
+		out[i] = rec.String()
+	}
+	return TraceResp{Records: out}, nil
+}
+
+func (s *Server) handleLock(r LockReq) (any, error) {
+	kind := locks.Read
+	if r.Write {
+		kind = locks.Write
+	}
+	var err error
+	if r.Release {
+		err = s.locks.Release(r.Name, r.Holder, kind)
+	} else {
+		err = s.locks.Acquire(r.Name, r.Holder, kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return LockResp{}, nil
+}
+
+func (s *Server) handleShardPut(r ShardPutReq) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.shards[r.Key]
+	if !ok {
+		m = make(map[int][]byte)
+		s.shards[r.Key] = m
+	}
+	if old, ok := m[r.Shard]; ok {
+		s.shardBytes -= int64(len(old))
+	}
+	cp := append([]byte(nil), r.Data...)
+	m[r.Shard] = cp
+	s.shardBytes += int64(len(cp))
+	return ShardPutResp{}, nil
+}
+
+func (s *Server) handleShardGet(r ShardGetReq) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.shards[r.Key]
+	if !ok {
+		return ShardGetResp{}, nil
+	}
+	d, ok := m[r.Shard]
+	if !ok {
+		return ShardGetResp{}, nil
+	}
+	return ShardGetResp{Data: d, Found: true}, nil
+}
+
+func (s *Server) handleShardDrop(r ShardDropReq) (any, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if m, ok := s.shards[r.Key]; ok {
+		for _, d := range m {
+			s.shardBytes -= int64(len(d))
+		}
+		delete(s.shards, r.Key)
+	}
+	return ShardDropResp{}, nil
+}
+
+func (s *Server) stats() StatsResp {
+	s.mu.Lock()
+	shardBytes := s.shardBytes
+	s.mu.Unlock()
+	return StatsResp{
+		StoreBytes:     s.store.BytesUsed(),
+		LogMetaBytes:   s.log.MetaBytes(),
+		ShardBytes:     shardBytes,
+		Objects:        s.store.Objects(),
+		Puts:           s.reg.Counter("puts").Value(),
+		Gets:           s.reg.Counter("gets").Value(),
+		SuppressedPuts: s.reg.Counter("suppressed_puts").Value(),
+		ReplayGets:     s.reg.Counter("replay_gets").Value(),
+		GCFreedBytes:   s.reg.Counter("gc_freed_bytes").Value(),
+		PutNanos:       s.reg.Counter("put_nanos").Value(),
+	}
+}

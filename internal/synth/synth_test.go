@@ -1,0 +1,95 @@
+package synth
+
+import (
+	"bytes"
+	"testing"
+
+	"gospaces/internal/domain"
+)
+
+func TestFillDeterministic(t *testing.T) {
+	g := domain.Box3(0, 0, 0, 15, 15, 15)
+	f := NewField("temp", g, 8)
+	a := f.Fill(3, g)
+	b := f.Fill(3, g)
+	if !bytes.Equal(a, b) {
+		t.Fatal("fill not deterministic")
+	}
+}
+
+func TestFillVariesByVersionAndName(t *testing.T) {
+	g := domain.Box3(0, 0, 0, 7, 7, 7)
+	f := NewField("temp", g, 8)
+	if bytes.Equal(f.Fill(1, g), f.Fill(2, g)) {
+		t.Fatal("versions produced identical data")
+	}
+	f2 := NewField("pressure", g, 8)
+	if bytes.Equal(f.Fill(1, g), f2.Fill(1, g)) {
+		t.Fatal("different fields produced identical data")
+	}
+}
+
+func TestSubBoxConsistentWithGlobalFill(t *testing.T) {
+	g := domain.Box3(0, 0, 0, 15, 11, 7)
+	f := NewField("u", g, 8)
+	whole := f.Fill(5, g)
+	sub := domain.Box3(3, 2, 1, 9, 8, 5)
+	got := f.Fill(5, sub)
+	want := domain.Extract(whole, g, sub, 8)
+	if !bytes.Equal(got, want) {
+		t.Fatal("sub-box fill inconsistent with global fill")
+	}
+}
+
+func TestRankDecompositionAssemblesToGlobal(t *testing.T) {
+	g := domain.Box3(0, 0, 0, 15, 15, 15)
+	f := NewField("u", g, 4)
+	dec, err := domain.NewDecomposition(g, []int{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assembled := make([]byte, domain.BufLen(g, 4))
+	for r := 0; r < dec.NRanks; r++ {
+		rb, _ := dec.RankBox(r)
+		domain.CopyRegion(assembled, g, f.Fill(9, rb), rb, rb, 4)
+	}
+	if !bytes.Equal(assembled, f.Fill(9, g)) {
+		t.Fatal("rank pieces do not assemble to the global field")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	g := domain.Box3(0, 0, 0, 7, 7, 7)
+	f := NewField("v", g, 8)
+	data := f.Fill(1, g)
+	if idx := f.Verify(1, g, data); idx != -1 {
+		t.Fatalf("verify of correct data = %d", idx)
+	}
+	data[100] ^= 0xFF
+	if idx := f.Verify(1, g, data); idx != 100 {
+		t.Fatalf("corruption index = %d, want 100", idx)
+	}
+	if idx := f.Verify(1, g, data[:10]); idx != 0 {
+		t.Fatal("short buffer not flagged")
+	}
+}
+
+func TestElemSizes(t *testing.T) {
+	g := domain.Box3(0, 0, 0, 3, 3, 3)
+	for _, es := range []int{1, 2, 4, 8} {
+		f := NewField("w", g, es)
+		buf := f.Fill(1, g)
+		if len(buf) != int(g.Volume())*es {
+			t.Fatalf("elem %d: len %d", es, len(buf))
+		}
+	}
+}
+
+func TestChecksum(t *testing.T) {
+	if Checksum([]byte("a")) == Checksum([]byte("b")) {
+		t.Fatal("checksum collision on trivial input")
+	}
+	if Checksum(nil) != Checksum([]byte{}) {
+		t.Fatal("nil and empty differ")
+	}
+}

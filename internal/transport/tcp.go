@@ -1,0 +1,170 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// wire envelopes. Payloads are gob-encoded; concrete request/response
+// types must be registered with gob.Register by the protocol package.
+type wireReq struct {
+	Payload any
+}
+
+type wireResp struct {
+	Payload any
+	Err     string
+}
+
+// TCP is a Transport over TCP sockets with gob framing. Addresses are
+// host:port strings; Listen with a ":0" port allocates an ephemeral
+// port, and the closer's Addr method reports the bound address.
+type TCP struct{}
+
+// NewTCP returns a TCP transport.
+func NewTCP() *TCP { return &TCP{} }
+
+// TCPEndpoint is the closer returned by TCP.Listen; it also reports the
+// bound address.
+type TCPEndpoint struct {
+	ln     net.Listener
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (e *TCPEndpoint) Addr() string { return e.ln.Addr().String() }
+
+// Close stops accepting, closes live connections, and waits for
+// handlers to drain.
+func (e *TCPEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	err := e.ln.Close()
+	for c := range e.conns {
+		c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	return err
+}
+
+// Listen implements Transport.
+func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ep := &TCPEndpoint{ln: ln, conns: make(map[net.Conn]struct{})}
+	ep.wg.Add(1)
+	go func() {
+		defer ep.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			ep.mu.Lock()
+			if ep.closed {
+				ep.mu.Unlock()
+				conn.Close()
+				return
+			}
+			ep.conns[conn] = struct{}{}
+			ep.mu.Unlock()
+			ep.wg.Add(1)
+			go func() {
+				defer ep.wg.Done()
+				defer func() {
+					ep.mu.Lock()
+					delete(ep.conns, conn)
+					ep.mu.Unlock()
+					conn.Close()
+				}()
+				serveConn(conn, h)
+			}()
+		}
+	}()
+	return ep, nil
+}
+
+func serveConn(conn net.Conn, h Handler) {
+	dec := gob.NewDecoder(conn)
+	enc := gob.NewEncoder(conn)
+	for {
+		var req wireReq
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken peer
+		}
+		resp, err := h(req.Payload)
+		out := wireResp{Payload: resp}
+		if err != nil {
+			out.Err = err.Error()
+		}
+		if err := enc.Encode(&out); err != nil {
+			return
+		}
+	}
+}
+
+// ListenTCP is Listen with a concrete return type so callers can learn
+// the bound address.
+func (t *TCP) ListenTCP(addr string, h Handler) (*TCPEndpoint, error) {
+	c, err := t.Listen(addr, h)
+	if err != nil {
+		return nil, err
+	}
+	return c.(*TCPEndpoint), nil
+}
+
+type tcpClient struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+	dec  *gob.Decoder
+}
+
+// Dial implements Transport.
+func (t *TCP) Dial(addr string) (Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", ErrNoEndpoint, addr, err)
+	}
+	return &tcpClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+}
+
+func (c *tcpClient) Call(req any) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, ErrClosed
+	}
+	if err := c.enc.Encode(&wireReq{Payload: req}); err != nil {
+		return nil, err
+	}
+	var resp wireResp
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, err
+	}
+	if resp.Err != "" {
+		return resp.Payload, errors.New(resp.Err)
+	}
+	return resp.Payload, nil
+}
+
+func (c *tcpClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}

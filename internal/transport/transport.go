@@ -1,0 +1,121 @@
+// Package transport carries the staging protocol between application
+// clients and staging servers. Two interchangeable implementations are
+// provided: an in-process transport (direct dispatch, used by tests,
+// benchmarks, and single-binary deployments) and a TCP transport
+// (gob-framed, used by cmd/stagingd and cmd/dsctl). DataSpaces uses
+// RDMA verbs here; the staging protocol above is transport-agnostic, so
+// swapping the wire changes constants, not behaviour.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Handler serves one request and returns a response. Handlers must be
+// safe for concurrent use; the staging server guards its state
+// internally.
+type Handler func(req any) (resp any, err error)
+
+// Client issues requests to one endpoint.
+type Client interface {
+	// Call sends req and waits for the response.
+	Call(req any) (any, error)
+	io.Closer
+}
+
+// Transport connects named endpoints.
+type Transport interface {
+	// Listen registers a handler at addr and returns a closer that
+	// unregisters/stops it.
+	Listen(addr string, h Handler) (io.Closer, error)
+	// Dial connects to the endpoint at addr.
+	Dial(addr string) (Client, error)
+}
+
+// ErrNoEndpoint is returned by Dial when the address is unknown.
+var ErrNoEndpoint = errors.New("transport: no such endpoint")
+
+// ErrClosed is returned by operations on a closed client or endpoint.
+var ErrClosed = errors.New("transport: closed")
+
+// ---------------------------------------------------------------------
+// In-process transport.
+
+// InProc is a process-local transport: Dial returns a client whose Call
+// invokes the handler directly on the caller's goroutine.
+type InProc struct {
+	mu        sync.RWMutex
+	endpoints map[string]Handler
+}
+
+// NewInProc returns an empty in-process transport.
+func NewInProc() *InProc {
+	return &InProc{endpoints: make(map[string]Handler)}
+}
+
+type inprocCloser struct {
+	t    *InProc
+	addr string
+}
+
+func (c *inprocCloser) Close() error {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	delete(c.t.endpoints, c.addr)
+	return nil
+}
+
+// Listen implements Transport.
+func (t *InProc) Listen(addr string, h Handler) (io.Closer, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.endpoints[addr]; dup {
+		return nil, fmt.Errorf("transport: endpoint %q already registered", addr)
+	}
+	t.endpoints[addr] = h
+	return &inprocCloser{t: t, addr: addr}, nil
+}
+
+type inprocClient struct {
+	t      *InProc
+	addr   string
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *inprocClient) Call(req any) (any, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.mu.Unlock()
+	c.t.mu.RLock()
+	h, ok := c.t.endpoints[c.addr]
+	c.t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, c.addr)
+	}
+	return h(req)
+}
+
+func (c *inprocClient) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	return nil
+}
+
+// Dial implements Transport.
+func (t *InProc) Dial(addr string) (Client, error) {
+	t.mu.RLock()
+	_, ok := t.endpoints[addr]
+	t.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, addr)
+	}
+	return &inprocClient{t: t, addr: addr}, nil
+}

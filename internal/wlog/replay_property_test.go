@@ -1,0 +1,149 @@
+package wlog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"gospaces/internal/domain"
+)
+
+// TestReplayScriptReExecutesExactly is the protocol's core property,
+// checked over randomized histories: after OnRecovery, re-issuing the
+// script's operations in order (a) never diverges, (b) suppresses
+// exactly the logged puts, (c) resolves gets to exactly the logged
+// versions, and (d) ends replay precisely at the end of the window.
+func TestReplayScriptReExecutesExactly(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			replayProperty(t, seed)
+		})
+	}
+}
+
+func replayProperty(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	l := New()
+	app := "app"
+	boxes := []domain.BBox{
+		domain.Box3(0, 0, 0, 9, 9, 9),
+		domain.Box3(10, 0, 0, 19, 9, 9),
+		domain.Box3(0, 10, 0, 9, 19, 9),
+	}
+	names := []string{"u", "v", "w"}
+	versions := map[string]int64{}
+
+	// Random history: puts, gets (of any existing version), checkpoints.
+	nOps := 20 + rng.Intn(60)
+	for i := 0; i < nOps; i++ {
+		name := names[rng.Intn(len(names))]
+		box := boxes[rng.Intn(len(boxes))]
+		switch rng.Intn(6) {
+		case 0, 1, 2:
+			versions[name]++
+			v := versions[name]
+			suppress, err := l.BeginPut(app, name, v, box)
+			if err != nil || suppress {
+				t.Fatalf("op %d: initial put suppressed/err: %v %v", i, suppress, err)
+			}
+			l.CommitPut(app, name, v, box, 100)
+		case 3, 4:
+			if versions[name] == 0 {
+				continue
+			}
+			v := 1 + rng.Int63n(versions[name])
+			resolved, fromLog, err := l.BeginGet(app, name, v, box)
+			if err != nil || fromLog {
+				t.Fatalf("op %d: initial get from log/err: %v %v", i, fromLog, err)
+			}
+			_ = resolved
+			l.CommitGet(app, name, v, box, 100)
+		case 5:
+			l.OnCheckpoint(app)
+		}
+	}
+
+	script := l.OnRecovery(app)
+	if len(script) == 0 {
+		if l.Replaying(app) {
+			t.Fatal("empty script but replaying")
+		}
+		return
+	}
+	if !l.Replaying(app) {
+		t.Fatal("non-empty script but not replaying")
+	}
+
+	// Re-execute the script exactly; every step must match.
+	for i, e := range script {
+		switch e.Kind {
+		case KindPut:
+			suppress, err := l.BeginPut(app, e.Name, e.Version, e.BBox)
+			if err != nil {
+				t.Fatalf("script[%d]: put diverged: %v", i, err)
+			}
+			if !suppress {
+				t.Fatalf("script[%d]: replayed put not suppressed", i)
+			}
+		case KindGet:
+			resolved, fromLog, err := l.BeginGet(app, e.Name, NoVersion, e.BBox)
+			if err != nil {
+				t.Fatalf("script[%d]: get diverged: %v", i, err)
+			}
+			if !fromLog || resolved != e.Version {
+				t.Fatalf("script[%d]: get resolved v%d fromLog=%v, want v%d", i, resolved, fromLog, e.Version)
+			}
+		default:
+			t.Fatalf("script[%d]: unexpected kind %v in window", i, e.Kind)
+		}
+		wantReplaying := i < len(script)-1
+		if l.Replaying(app) != wantReplaying {
+			t.Fatalf("script[%d]: replaying=%v, want %v", i, l.Replaying(app), wantReplaying)
+		}
+	}
+
+	// Fresh work after the window is not suppressed.
+	versions["u"]++
+	suppress, err := l.BeginPut(app, "u", versions["u"], boxes[0])
+	if err != nil || suppress {
+		t.Fatalf("post-replay put: suppress=%v err=%v", suppress, err)
+	}
+}
+
+// TestReplayIsRepeatable: recovering twice from the same checkpoint
+// produces the same script, and a second full replay works after a
+// mid-replay "failure".
+func TestReplayIsRepeatable(t *testing.T) {
+	l := New()
+	b := domain.Box3(0, 0, 0, 4, 4, 4)
+	for v := int64(1); v <= 6; v++ {
+		if _, err := l.BeginPut("a", "f", v, b); err != nil {
+			t.Fatal(err)
+		}
+		l.CommitPut("a", "f", v, b, 10)
+		if v == 3 {
+			l.OnCheckpoint("a")
+		}
+	}
+	s1 := l.OnRecovery("a")
+	// Replay only half the window, then "fail" again.
+	if _, err := l.BeginPut("a", "f", 4, b); err != nil {
+		t.Fatal(err)
+	}
+	s2 := l.OnRecovery("a")
+	if len(s1) != len(s2) {
+		t.Fatalf("script lengths differ: %d vs %d", len(s1), len(s2))
+	}
+	for i := range s1 {
+		if s1[i].Version != s2[i].Version || s1[i].Kind != s2[i].Kind {
+			t.Fatalf("scripts differ at %d", i)
+		}
+	}
+	for _, e := range s2 {
+		suppress, err := l.BeginPut("a", e.Name, e.Version, e.BBox)
+		if err != nil || !suppress {
+			t.Fatalf("second replay v%d: suppress=%v err=%v", e.Version, suppress, err)
+		}
+	}
+}

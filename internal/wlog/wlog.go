@@ -1,0 +1,333 @@
+// Package wlog implements the paper's core contribution: the data/event
+// logging mechanism that staging servers use to keep coupled workflow
+// components crash-consistent under uncoordinated checkpoint/restart
+// (Duan & Parashar, IPDPS 2020, §III).
+//
+// The staging area keeps one event queue per application component.
+// Every logged put and get appends an event; workflow_check() appends a
+// Checkpoint event carrying a fresh W_Chk_ID; workflow_restart() places
+// a replay cursor at the component's last Checkpoint event. While a
+// component replays:
+//
+//   - its Get requests are served the logged version of the data — the
+//     version it read in the initial execution, even though healthy
+//     producers have moved on (paper Fig. 5, case 1 of Fig. 2);
+//   - its Put requests that match logged Put events are suppressed,
+//     because the data is already staged (case 2 of Fig. 2).
+//
+// When the cursor reaches the end of the queue the component has caught
+// up and leaves replay mode. Garbage collection deletes logged payload
+// versions no component can re-read, keeping the latest version of every
+// object for normal reads (§III-A2).
+//
+// The Log is a pure state machine with no I/O: the live staging servers
+// (internal/staging) and the virtual-time experiment harness
+// (internal/expt) both drive the same implementation, so the simulated
+// Cori runs exercise exactly the protocol the real servers execute.
+package wlog
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"gospaces/internal/domain"
+)
+
+// Kind classifies a logged event.
+type Kind int
+
+// Event kinds.
+const (
+	KindPut Kind = iota + 1
+	KindGet
+	KindCheckpoint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPut:
+		return "put"
+	case KindGet:
+		return "get"
+	case KindCheckpoint:
+		return "checkpoint"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is one entry in a component's event queue.
+type Event struct {
+	App     string
+	Seq     int64 // per-app sequence number
+	Kind    Kind
+	Name    string      // object name (put/get)
+	Version int64       // put: written version; get: resolved version
+	BBox    domain.BBox // put/get region
+	Bytes   int64       // payload size, for accounting
+	ChkID   string      // W_Chk_ID, checkpoint events only
+}
+
+// metaBytes estimates the in-memory footprint of one event record, used
+// for the Figure 9(c)/(d) staging-memory accounting.
+func (e *Event) metaBytes() int64 {
+	return 112 + int64(len(e.App)+len(e.Name)+len(e.ChkID))
+}
+
+// ErrReplayDivergence is returned when a recovering component issues a
+// request that does not match the next logged event: the component did
+// not re-execute deterministically.
+var ErrReplayDivergence = errors.New("wlog: replayed request diverges from event log")
+
+// NoVersion marks a get request for "latest available version".
+const NoVersion int64 = -1
+
+type appQueue struct {
+	events    []*Event
+	nextSeq   int64
+	nextChk   int64
+	replaying bool
+	cursor    int // next event to replay, valid when replaying
+	// anchor is the index of the last Checkpoint event, or -1: replay
+	// restarts right after it.
+	anchor int
+}
+
+// Log is the staging-side event log. It is safe for concurrent use.
+type Log struct {
+	mu        sync.Mutex
+	apps      map[string]*appQueue
+	lastGet   map[string]map[string]int64 // app -> name -> newest version ever read
+	metaBytes int64
+}
+
+// New returns an empty log.
+func New() *Log {
+	return &Log{
+		apps:    make(map[string]*appQueue),
+		lastGet: make(map[string]map[string]int64),
+	}
+}
+
+func (l *Log) queue(app string) *appQueue {
+	q, ok := l.apps[app]
+	if !ok {
+		q = &appQueue{anchor: -1}
+		l.apps[app] = q
+	}
+	return q
+}
+
+func (l *Log) append(q *appQueue, e *Event) {
+	q.nextSeq++
+	e.Seq = q.nextSeq
+	q.events = append(q.events, e)
+	l.metaBytes += e.metaBytes()
+}
+
+// Replaying reports whether app is currently in replay mode.
+func (l *Log) Replaying(app string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q, ok := l.apps[app]
+	return ok && q.replaying
+}
+
+// exitReplay is called with the lock held when a component's requests
+// run past the logged window.
+func (q *appQueue) exitReplay() { q.replaying = false }
+
+// BeginPut decides how to treat a put request from app. It returns
+// suppress=true when the request is a re-issued write from a rollback
+// re-execution whose payload is already staged; the caller must then
+// skip the store write. On suppress the replay cursor advances. When
+// the request diverges from the log, ErrReplayDivergence is returned.
+//
+// When suppress is false the caller performs the store write and then
+// calls CommitPut to append the event.
+func (l *Log) BeginPut(app, name string, version int64, bbox domain.BBox) (suppress bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queue(app)
+	if !q.replaying {
+		return false, nil
+	}
+	if q.cursor >= len(q.events) {
+		q.exitReplay()
+		return false, nil
+	}
+	e := q.events[q.cursor]
+	if e.Kind != KindPut || e.Name != name || e.Version != version || !e.BBox.Equal(bbox) {
+		return false, fmt.Errorf("%w: put %s v%d %v, next logged event %s %s v%d %v",
+			ErrReplayDivergence, name, version, bbox, e.Kind, e.Name, e.Version, e.BBox)
+	}
+	q.cursor++
+	if q.cursor >= len(q.events) {
+		q.exitReplay()
+	}
+	return true, nil
+}
+
+// CommitPut records a completed (non-suppressed) put.
+func (l *Log) CommitPut(app, name string, version int64, bbox domain.BBox, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queue(app)
+	l.append(q, &Event{App: app, Kind: KindPut, Name: name, Version: version, BBox: bbox, Bytes: bytes})
+}
+
+// BeginGet decides which version a get request must be served. For a
+// replaying component it returns the version logged during the initial
+// execution (fromLog=true) and advances the cursor. Otherwise it
+// returns the requested version unchanged (NoVersion means the caller
+// resolves "latest" itself) and the caller must call CommitGet after a
+// successful read.
+func (l *Log) BeginGet(app, name string, version int64, bbox domain.BBox) (resolved int64, fromLog bool, err error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queue(app)
+	if !q.replaying {
+		return version, false, nil
+	}
+	if q.cursor >= len(q.events) {
+		q.exitReplay()
+		return version, false, nil
+	}
+	e := q.events[q.cursor]
+	if e.Kind != KindGet || e.Name != name || !e.BBox.Equal(bbox) {
+		return 0, false, fmt.Errorf("%w: get %s %v, next logged event %s %s v%d %v",
+			ErrReplayDivergence, name, bbox, e.Kind, e.Name, e.Version, e.BBox)
+	}
+	if version != NoVersion && version != e.Version {
+		return 0, false, fmt.Errorf("%w: get %s asks v%d, log replays v%d",
+			ErrReplayDivergence, name, version, e.Version)
+	}
+	q.cursor++
+	if q.cursor >= len(q.events) {
+		q.exitReplay()
+	}
+	return e.Version, true, nil
+}
+
+// CommitGet records a completed first-execution get with its resolved
+// version.
+func (l *Log) CommitGet(app, name string, resolved int64, bbox domain.BBox, bytes int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queue(app)
+	l.append(q, &Event{App: app, Kind: KindGet, Name: name, Version: resolved, BBox: bbox, Bytes: bytes})
+	m, ok := l.lastGet[app]
+	if !ok {
+		m = make(map[string]int64)
+		l.lastGet[app] = m
+	}
+	if v, ok := m[name]; !ok || resolved > v {
+		m[name] = resolved
+	}
+}
+
+// OnCheckpoint records a checkpoint event for app and returns its fresh
+// W_Chk_ID. Events preceding the new checkpoint are trimmed from the
+// queue — the component can never roll back past it — and returned so
+// the server can release log bookkeeping ("at the end of checkpoint
+// cycle, data staging will clean the event queue", §III-A1).
+func (l *Log) OnCheckpoint(app string) (chkID string, trimmed []*Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queue(app)
+	if q.replaying {
+		// A checkpoint ends any replay: the component state is now
+		// ahead of the window.
+		q.exitReplay()
+	}
+	q.nextChk++
+	chkID = fmt.Sprintf("%s#chk%d", app, q.nextChk)
+	ev := &Event{App: app, Kind: KindCheckpoint, ChkID: chkID}
+	l.append(q, ev)
+	// Trim everything before the checkpoint event.
+	cut := len(q.events) - 1
+	trimmed = q.events[:cut]
+	for _, e := range trimmed {
+		l.metaBytes -= e.metaBytes()
+	}
+	q.events = append([]*Event(nil), q.events[cut:]...)
+	q.anchor = 0
+	return chkID, trimmed
+}
+
+// OnRecovery switches app into replay mode, restarting from its last
+// checkpoint event (or from the very beginning if it never
+// checkpointed). It returns the replay script: the logged events the
+// component will re-issue, in order.
+func (l *Log) OnRecovery(app string) []*Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q := l.queue(app)
+	start := q.anchor + 1 // anchor is -1 when no checkpoint event exists
+	if start > len(q.events) {
+		start = len(q.events)
+	}
+	q.cursor = start
+	q.replaying = q.cursor < len(q.events)
+	script := make([]*Event, len(q.events)-start)
+	copy(script, q.events[start:])
+	return script
+}
+
+// PayloadFrontier returns the smallest version of name that must remain
+// staged for crash consistency: the minimum over all reader components
+// of (a) versions they may replay-read (resident Get events) and (b)
+// the version after the newest they have ever read (first reads still
+// to come). Objects never read by anyone return MaxInt64 — only the
+// latest version needs keeping. Callers combine this with a
+// keep-latest policy (store.DropBelow).
+func (l *Log) PayloadFrontier(name string) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	frontier := int64(math.MaxInt64)
+	for app, q := range l.apps {
+		for _, e := range q.events {
+			if e.Kind == KindGet && e.Name == name && e.Version < frontier {
+				frontier = e.Version
+			}
+		}
+		if m, ok := l.lastGet[app]; ok {
+			if last, ok := m[name]; ok && last+1 < frontier {
+				frontier = last + 1
+			}
+		}
+	}
+	return frontier
+}
+
+// Apps returns the components with a registered queue.
+func (l *Log) Apps() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.apps))
+	for a := range l.apps {
+		out = append(out, a)
+	}
+	return out
+}
+
+// QueueLen returns the resident event count for app.
+func (l *Log) QueueLen(app string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	q, ok := l.apps[app]
+	if !ok {
+		return 0
+	}
+	return len(q.events)
+}
+
+// MetaBytes returns the estimated memory footprint of resident event
+// records, the metadata part of the logging storage overhead.
+func (l *Log) MetaBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.metaBytes
+}

@@ -1,0 +1,76 @@
+package wlog
+
+import (
+	"fmt"
+	"testing"
+
+	"gospaces/internal/domain"
+)
+
+var benchBox = domain.Box3(0, 0, 0, 63, 63, 31)
+
+func BenchmarkCommitPut(b *testing.B) {
+	l := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := l.BeginPut("sim/0", "f", int64(i), benchBox); err != nil {
+			b.Fatal(err)
+		}
+		l.CommitPut("sim/0", "f", int64(i), benchBox, 1<<20)
+		if i%64 == 63 {
+			l.OnCheckpoint("sim/0") // keep the queue bounded, as GC would
+		}
+	}
+}
+
+func BenchmarkBeginGetNormal(b *testing.B) {
+	l := New()
+	l.CommitPut("sim/0", "f", 1, benchBox, 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := l.BeginGet("ana/0", "f", 1, benchBox); err != nil {
+			b.Fatal(err)
+		}
+		l.CommitGet("ana/0", "f", 1, benchBox, 1<<20)
+		if i%64 == 63 {
+			l.OnCheckpoint("ana/0")
+		}
+	}
+}
+
+func BenchmarkReplayCycle(b *testing.B) {
+	// Measures a full failure-recovery protocol round: window of 8
+	// events, recovery, full replay.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l := New()
+		for v := int64(1); v <= 8; v++ {
+			_, _ = l.BeginPut("sim/0", "f", v, benchBox)
+			l.CommitPut("sim/0", "f", v, benchBox, 1<<20)
+		}
+		script := l.OnRecovery("sim/0")
+		for _, e := range script {
+			if suppress, err := l.BeginPut("sim/0", e.Name, e.Version, e.BBox); err != nil || !suppress {
+				b.Fatal("replay broke")
+			}
+		}
+	}
+}
+
+func BenchmarkPayloadFrontier(b *testing.B) {
+	l := New()
+	for app := 0; app < 8; app++ {
+		name := fmt.Sprintf("ana/%d", app)
+		for v := int64(1); v <= 32; v++ {
+			_, _, _ = l.BeginGet(name, "f", v, benchBox)
+			l.CommitGet(name, "f", v, benchBox, 1<<20)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := l.PayloadFrontier("f"); got != 1 {
+			b.Fatalf("frontier = %d", got)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package workflow
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrAborted is returned from coupler waits when the waiting rank's
+// recovery domain is being torn down for rollback.
+var ErrAborted = errors.New("workflow: wait aborted by failure recovery")
+
+// Coupler sequences the coupling cycle between producer and consumer
+// components: consumers wait until every producer rank has staged a
+// timestep, and producers are throttled until every consumer rank has
+// read the previous one — the paper's "write immediately followed by
+// read" access pattern. On real systems this role is played by
+// DataSpaces read/write locks.
+//
+// Marks are counted, idempotent under replay (re-marking an open latch
+// is a no-op), and resettable for coordinated global rollback.
+type Coupler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	needProd int
+	needCons int
+	produced map[int64]map[int]struct{}
+	consumed map[int64]map[int]struct{}
+}
+
+// NewCoupler creates a coupler for the given producer and consumer rank
+// counts.
+func NewCoupler(producerRanks, consumerRanks int) *Coupler {
+	c := &Coupler{
+		needProd: producerRanks,
+		needCons: consumerRanks,
+		produced: make(map[int64]map[int]struct{}),
+		consumed: make(map[int64]map[int]struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// MarkProduced records that producer rank staged timestep ts. Marks
+// are per-rank idempotent, so replayed re-marks do not open a latch
+// that another recovering rank has not satisfied yet.
+func (c *Coupler) MarkProduced(ts int64, rank int) {
+	c.mark(c.produced, ts, rank)
+}
+
+// MarkConsumed records that consumer rank finished reading ts.
+func (c *Coupler) MarkConsumed(ts int64, rank int) {
+	c.mark(c.consumed, ts, rank)
+}
+
+func (c *Coupler) mark(m map[int64]map[int]struct{}, ts int64, rank int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set, ok := m[ts]
+	if !ok {
+		set = make(map[int]struct{})
+		m[ts] = set
+	}
+	set[rank] = struct{}{}
+	c.cond.Broadcast()
+}
+
+// WaitProduced blocks until all producer ranks have staged ts, or until
+// abort is closed.
+func (c *Coupler) WaitProduced(ts int64, abort <-chan struct{}) error {
+	return c.wait(c.produced, ts, c.needProd, abort)
+}
+
+// WaitConsumed blocks until all consumer ranks have read ts, or until
+// abort is closed. Waiting for ts <= 0 returns immediately.
+func (c *Coupler) WaitConsumed(ts int64, abort <-chan struct{}) error {
+	if ts <= 0 {
+		return nil
+	}
+	return c.wait(c.consumed, ts, c.needCons, abort)
+}
+
+func (c *Coupler) wait(m map[int64]map[int]struct{}, ts int64, need int, abort <-chan struct{}) error {
+	aborted := func() bool {
+		select {
+		case <-abort:
+			return true
+		default:
+			return false
+		}
+	}
+	// Wake all waiters when abort fires so they can observe it.
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		select {
+		case <-abort:
+			c.mu.Lock()
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-stop:
+		}
+	}()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for len(m[ts]) < need {
+		if aborted() {
+			return ErrAborted
+		}
+		c.cond.Wait()
+	}
+	return nil
+}
+
+// Reset clears all marks strictly after ts, for coordinated global
+// rollback: the whole workflow re-executes from ts, so the coupling
+// cycle must re-arm.
+func (c *Coupler) Reset(ts int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.produced {
+		if k > ts {
+			delete(c.produced, k)
+		}
+	}
+	for k := range c.consumed {
+		if k > ts {
+			delete(c.consumed, k)
+		}
+	}
+	c.cond.Broadcast()
+}
