@@ -1,0 +1,29 @@
+# Tier-1 verification and CI targets. `make check` is the pre-merge
+# gate; `make short` skips the chaos soak for fast iteration.
+
+GO ?= go
+
+.PHONY: check vet build test race short bench
+
+check: vet test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+# The resilience acceptance gate: transport and staging under the race
+# detector (includes the chaos soak and lifecycle tests).
+race:
+	$(GO) test -race ./internal/transport/... ./internal/staging/...
+
+# Fast loop: -short skips the chaos soak and other slow tests.
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

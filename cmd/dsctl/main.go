@@ -23,6 +23,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"gospaces"
 )
@@ -33,15 +34,25 @@ func main() {
 	elem := flag.Int("elem", 8, "element size in bytes")
 	bits := flag.Int("bits", 2, "DHT refinement bits")
 	app := flag.String("app", "dsctl/0", "client identity (component/rank)")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-call RPC deadline (0 = none)")
+	dialTimeout := flag.Duration("dial-timeout", 5*time.Second, "connection-establishment deadline (0 = none)")
+	retries := flag.Int("retries", 4, "RPC attempts per call, including the first")
+	retryBase := flag.Duration("retry-base", 50*time.Millisecond, "initial retry backoff (doubles per retry, jittered)")
 	flag.Parse()
 
-	if err := run(*servers, *domainFlag, *elem, *bits, *app, flag.Args()); err != nil {
+	opts := gospaces.DefaultDialOptions()
+	opts.CallTimeout = *timeout
+	opts.DialTimeout = *dialTimeout
+	opts.Retry.MaxAttempts = *retries
+	opts.Retry.BaseDelay = *retryBase
+
+	if err := run(*servers, *domainFlag, *elem, *bits, *app, opts, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "dsctl: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(servers, domainStr string, elem, bits int, app string, args []string) error {
+func run(servers, domainStr string, elem, bits int, app string, opts gospaces.DialOptions, args []string) error {
 	if len(args) < 1 {
 		return fmt.Errorf("missing command (put/get/versions/check/restart/stats)")
 	}
@@ -50,12 +61,12 @@ func run(servers, domainStr string, elem, bits int, app string, args []string) e
 		return err
 	}
 	addrs := strings.Split(servers, ",")
-	pool, err := gospaces.Connect(addrs, gospaces.StagingConfig{
+	pool, err := gospaces.ConnectWithOptions(addrs, gospaces.StagingConfig{
 		Global:   global,
 		NServers: len(addrs),
 		Bits:     bits,
 		ElemSize: elem,
-	})
+	}, opts)
 	if err != nil {
 		return err
 	}

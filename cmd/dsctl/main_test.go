@@ -57,17 +57,17 @@ func TestEndToEndAgainstLiveServers(t *testing.T) {
 		{"trace", "5"},
 		{"stats"},
 	} {
-		if err := run(servers, "32x32x16", 8, 2, "dsctl/0", cmd); err != nil {
+		if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), cmd); err != nil {
 			t.Fatalf("%v: %v", cmd, err)
 		}
 	}
-	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", []string{"bogus"}); err == nil {
+	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), []string{"bogus"}); err == nil {
 		t.Fatal("bogus command accepted")
 	}
-	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", nil); err == nil {
+	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), nil); err == nil {
 		t.Fatal("missing command accepted")
 	}
-	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", []string{"trace", "zz"}); err == nil {
+	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), []string{"trace", "zz"}); err == nil {
 		t.Fatal("bad trace limit accepted")
 	}
 }

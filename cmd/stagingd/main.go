@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"gospaces"
 )
@@ -26,11 +27,28 @@ func main() {
 	addr := flag.String("addr", ":7070", "listen address (host:port); with -servers > 1 the port is the base")
 	id := flag.Int("id", 0, "server id within the staging group (single-server mode)")
 	servers := flag.Int("servers", 1, "launch a whole group of n servers on consecutive ports")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the fault-injection schedule")
+	chaosDelayProb := flag.Float64("chaos-delay-prob", 0, "probability a handled request is delayed (fault injection)")
+	chaosDelay := flag.Duration("chaos-delay", 20*time.Millisecond, "injected per-request delay")
+	chaosHangProb := flag.Float64("chaos-hang-prob", 0, "probability a handled request hangs (client sees a dropped response)")
+	chaosHang := flag.Duration("chaos-hang", 30*time.Second, "injected hang duration; set beyond client deadlines")
 	flag.Parse()
+
+	opts := gospaces.ServeOptions{
+		ChaosSeed:      *chaosSeed,
+		ChaosDelayProb: *chaosDelayProb,
+		ChaosDelay:     *chaosDelay,
+		ChaosHangProb:  *chaosHangProb,
+		ChaosHang:      *chaosHang,
+	}
+	if *chaosDelayProb > 0 || *chaosHangProb > 0 {
+		fmt.Printf("stagingd: CHAOS MODE: delay p=%.2f (%v), hang p=%.2f (%v), seed %d\n",
+			*chaosDelayProb, *chaosDelay, *chaosHangProb, *chaosHang, *chaosSeed)
+	}
 
 	var running []*gospaces.StagingServer
 	if *servers <= 1 {
-		srv, err := gospaces.Serve(*addr, *id)
+		srv, err := gospaces.ServeWithOptions(*addr, *id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "stagingd: %v\n", err)
 			os.Exit(1)
@@ -45,7 +63,7 @@ func main() {
 		}
 		var addrs []string
 		for i := 0; i < *servers; i++ {
-			srv, err := gospaces.Serve(fmt.Sprintf("%s:%d", host, base+i), i)
+			srv, err := gospaces.ServeWithOptions(fmt.Sprintf("%s:%d", host, base+i), i, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "stagingd: server %d: %v\n", i, err)
 				os.Exit(1)

@@ -30,6 +30,8 @@ package gospaces
 
 import (
 	"fmt"
+	"io"
+	"time"
 
 	"gospaces/internal/ckpt"
 	"gospaces/internal/cluster"
@@ -126,30 +128,98 @@ func StartStaging(cfg StagingConfig) (*Staging, error) {
 
 // StagingServer is one TCP staging server (cmd/stagingd wraps this).
 type StagingServer struct {
-	ep *transport.TCPEndpoint
+	ep   io.Closer
+	addr string
 }
 
 // Addr returns the server's bound address.
-func (s *StagingServer) Addr() string { return s.ep.Addr() }
+func (s *StagingServer) Addr() string { return s.addr }
 
 // Close stops the server.
 func (s *StagingServer) Close() error { return s.ep.Close() }
 
+// ServeOptions configures a TCP staging server, including the
+// server-side fault injection stagingd exposes for resilience testing:
+// handled requests are delayed with ChaosDelayProb and hang (long
+// enough to trip client deadlines, i.e. a dropped response) with
+// ChaosHangProb. Zero options serve faithfully.
+type ServeOptions struct {
+	ChaosSeed      int64
+	ChaosDelayProb float64
+	ChaosDelay     time.Duration
+	ChaosHangProb  float64
+	ChaosHang      time.Duration
+}
+
 // Serve starts staging server id listening on addr (host:port; use
 // ":0" for an ephemeral port).
 func Serve(addr string, id int) (*StagingServer, error) {
+	return ServeWithOptions(addr, id, ServeOptions{})
+}
+
+// ServeWithOptions starts staging server id with fault-injection
+// options (see ServeOptions).
+func ServeWithOptions(addr string, id int, opts ServeOptions) (*StagingServer, error) {
+	var tr transport.Transport = transport.NewTCP()
+	if opts.ChaosDelayProb > 0 || opts.ChaosHangProb > 0 {
+		chaos := transport.NewChaos(tr, opts.ChaosSeed)
+		chaos.SetServeFaults(opts.ChaosDelayProb, opts.ChaosDelay, opts.ChaosHangProb, opts.ChaosHang)
+		tr = chaos
+	}
 	srv := staging.NewServer(id)
-	ep, err := transport.NewTCP().ListenTCP(addr, srv.Handle)
+	closer, err := tr.Listen(addr, srv.Handle)
 	if err != nil {
 		return nil, fmt.Errorf("gospaces: serve: %w", err)
 	}
-	return &StagingServer{ep: ep}, nil
+	bound := addr
+	if a, ok := closer.(interface{ Addr() string }); ok {
+		bound = a.Addr()
+	}
+	return &StagingServer{ep: closer, addr: bound}, nil
+}
+
+// RetryPolicy configures the RPC retry layer (exponential backoff with
+// jitter and a retry budget).
+type RetryPolicy = transport.RetryPolicy
+
+// ErrDegraded reports a staging server that stayed unreachable past the
+// retry policy; errors.Is(err, ErrDegraded) distinguishes transport
+// degradation from protocol errors.
+var ErrDegraded = staging.ErrDegraded
+
+// DialOptions configures the resilient RPC layer between clients and
+// TCP staging servers.
+type DialOptions struct {
+	// CallTimeout bounds each RPC (0 = no deadline).
+	CallTimeout time.Duration
+	// DialTimeout bounds connection establishment (0 = no deadline).
+	DialTimeout time.Duration
+	// Retry is the backoff policy for transient transport faults.
+	Retry RetryPolicy
+}
+
+// DefaultDialOptions is the production default: 10s call deadline, 5s
+// dial deadline, 4 attempts with 50ms..2s jittered backoff.
+func DefaultDialOptions() DialOptions {
+	return DialOptions{
+		CallTimeout: 10 * time.Second,
+		DialTimeout: 5 * time.Second,
+		Retry:       transport.DefaultRetryPolicy(),
+	}
 }
 
 // Connect builds a client pool for staging servers listening on the
-// given TCP addresses (in server-id order).
+// given TCP addresses (in server-id order), with the default resilient
+// RPC layer: per-call deadlines, automatic re-dial of broken
+// connections, and retries with exponential backoff.
 func Connect(addrs []string, cfg StagingConfig) (*Pool, error) {
-	return staging.NewPool(transport.NewTCP(), addrs, cfg)
+	return ConnectWithOptions(addrs, cfg, DefaultDialOptions())
+}
+
+// ConnectWithOptions is Connect with an explicit RPC policy.
+func ConnectWithOptions(addrs []string, cfg StagingConfig, opts DialOptions) (*Pool, error) {
+	tcp := transport.NewTCPTimeout(opts.CallTimeout, opts.DialTimeout)
+	return staging.NewPool(transport.WithRetry(tcp, opts.Retry), addrs, cfg)
 }
 
 // ---------------------------------------------------------------------

@@ -13,14 +13,55 @@ import (
 	"time"
 )
 
-// Injection is one scheduled fail-stop event.
+// Kind classifies an injected fault. The zero value is the original
+// rank fail-stop, so existing schedules keep their meaning; the other
+// kinds target the staging data path and are consumed by the chaos
+// transport (internal/transport.Chaos).
+type Kind int
+
+const (
+	// RankFailStop kills one application rank (paper §IV-A).
+	RankFailStop Kind = iota
+	// ServerCrash blacks out one staging server for Duration: dials and
+	// calls fail as if the process died, then the address recovers.
+	ServerCrash
+	// NetDelay adds latency to every call to one server for Duration.
+	NetDelay
+	// NetDrop loses responses from one server for Duration: the server
+	// processes the request but the client observes a timeout.
+	NetDrop
+)
+
+// String renders the kind for traces and logs.
+func (k Kind) String() string {
+	switch k {
+	case RankFailStop:
+		return "rank-fail-stop"
+	case ServerCrash:
+		return "server-crash"
+	case NetDelay:
+		return "net-delay"
+	case NetDrop:
+		return "net-drop"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Injection is one scheduled fault event.
 type Injection struct {
 	// At is the time of the failure relative to workflow start.
 	At time.Duration
-	// Component names the workflow component that fails.
+	// Kind classifies the fault (zero value: rank fail-stop).
+	Kind Kind
+	// Component names the workflow component that fails (RankFailStop).
 	Component string
-	// Rank is the failing rank within the component.
+	// Rank is the failing rank within the component (RankFailStop).
 	Rank int
+	// Server is the target staging server id (ServerCrash/Net*).
+	Server int
+	// Duration is the fault window length (ServerCrash/Net*);
+	// fail-stops are instantaneous.
+	Duration time.Duration
 }
 
 // Schedule is a time-ordered list of injections.
@@ -80,6 +121,44 @@ func Exponential(seed int64, mtbf time.Duration, n int, horizon time.Duration, t
 			pick -= tg.Ranks
 		}
 		sched = append(sched, Injection{At: t, Component: comp, Rank: rng.Intn(ranks)})
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+// Chaos draws n network/server faults over horizon, uniformly over
+// time, servers, and the given kinds, with window lengths uniform in
+// [meanFault/2, 3*meanFault/2). The schedule is deterministic for a
+// given seed; feed it to transport.Chaos.Apply to arm the faults.
+func Chaos(seed int64, n int, horizon, meanFault time.Duration, nServers int, kinds ...Kind) (Schedule, error) {
+	if horizon <= 0 {
+		return nil, fmt.Errorf("failure: non-positive horizon %v", horizon)
+	}
+	if meanFault <= 0 {
+		return nil, fmt.Errorf("failure: non-positive mean fault duration %v", meanFault)
+	}
+	if nServers <= 0 {
+		return nil, fmt.Errorf("failure: non-positive server count %d", nServers)
+	}
+	if len(kinds) == 0 {
+		kinds = []Kind{ServerCrash, NetDelay, NetDrop}
+	}
+	for _, k := range kinds {
+		if k == RankFailStop {
+			return nil, fmt.Errorf("failure: rank fail-stops belong in Exponential schedules")
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon)-1)) + 1
+		dur := meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+		sched = append(sched, Injection{
+			At:       at,
+			Kind:     kinds[rng.Intn(len(kinds))],
+			Server:   rng.Intn(nServers),
+			Duration: dur,
+		})
 	}
 	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 	return sched, nil

@@ -1,6 +1,7 @@
 package staging
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +10,35 @@ import (
 	"gospaces/internal/domain"
 	"gospaces/internal/transport"
 )
+
+// ErrDegraded reports that a staging server stayed unreachable past the
+// transport's retry policy: the call was a transport-level fault
+// (timeout, broken connection, missing endpoint), not a server-side
+// rejection. Callers can distinguish "staging degraded, try later or
+// fail over" from protocol errors via errors.Is.
+var ErrDegraded = errors.New("staging: degraded: server unreachable")
+
+// wrapCall classifies a failed server call: transient transport faults
+// that survived the retry layer surface as ErrDegraded, everything else
+// stays a plain staging error.
+func wrapCall(err error, format string, args ...any) error {
+	msg := fmt.Sprintf(format, args...)
+	if transport.Retryable(err) {
+		return fmt.Errorf("%w: %s: %w", ErrDegraded, msg, err)
+	}
+	return fmt.Errorf("staging: %s: %w", msg, err)
+}
+
+// respAs narrows a transport response to its expected concrete type; a
+// mismatch is reported as an error rather than panicking the rank.
+func respAs[T any](raw any, op string) (T, error) {
+	v, ok := raw.(T)
+	if !ok {
+		var zero T
+		return zero, fmt.Errorf("staging: %s: bad response type %T", op, raw)
+	}
+	return v, nil
+}
 
 // Config describes a staging server group.
 type Config struct {
@@ -165,7 +195,7 @@ func (c *Client) put(name string, version int64, bbox domain.BBox, data []byte, 
 				ElemSize: c.pool.cfg.ElemSize, Piece: piece, Logged: logged,
 			}
 			if _, err := c.conns[s].Call(req); err != nil {
-				return fmt.Errorf("staging: put %q v%d to server %d: %w", name, version, s, err)
+				return wrapCall(err, "put %q v%d to server %d", name, version, s)
 			}
 		}
 	}
@@ -181,11 +211,11 @@ func (c *Client) get(name string, version int64, bbox domain.BBox, logged bool) 
 		req := GetReq{App: c.app, Name: name, Version: version, BBox: bbox, Logged: logged}
 		raw, err := c.conns[s].Call(req)
 		if err != nil {
-			return nil, 0, fmt.Errorf("staging: get %q v%d from server %d: %w", name, version, s, err)
+			return nil, 0, wrapCall(err, "get %q v%d from server %d", name, version, s)
 		}
-		resp, ok := raw.(GetResp)
-		if !ok {
-			return nil, 0, fmt.Errorf("staging: get %q: bad response type %T", name, raw)
+		resp, err := respAs[GetResp](raw, fmt.Sprintf("get %q", name))
+		if err != nil {
+			return nil, 0, err
 		}
 		if resolved == NoVersion {
 			resolved = resp.Version
@@ -241,9 +271,13 @@ func (c *Client) WorkflowCheck() (int64, error) {
 	for s, conn := range c.conns {
 		raw, err := conn.Call(CheckpointReq{App: c.app})
 		if err != nil {
-			return freed, fmt.Errorf("staging: checkpoint on server %d: %w", s, err)
+			return freed, wrapCall(err, "checkpoint on server %d", s)
 		}
-		freed += raw.(CheckpointResp).FreedBytes
+		resp, err := respAs[CheckpointResp](raw, "checkpoint")
+		if err != nil {
+			return freed, err
+		}
+		freed += resp.FreedBytes
 	}
 	return freed, nil
 }
@@ -259,9 +293,13 @@ func (c *Client) WorkflowRestart() (int, error) {
 	for s, conn := range c.conns {
 		raw, err := conn.Call(RecoveryReq{App: c.app})
 		if err != nil {
-			return total, fmt.Errorf("staging: recovery on server %d: %w", s, err)
+			return total, wrapCall(err, "recovery on server %d", s)
 		}
-		total += raw.(RecoveryResp).ReplayEvents
+		resp, err := respAs[RecoveryResp](raw, "recovery")
+		if err != nil {
+			return total, err
+		}
+		total += resp.ReplayEvents
 	}
 	return total, nil
 }
@@ -272,9 +310,13 @@ func (c *Client) Versions(name string) ([]int64, error) {
 	for s, conn := range c.conns {
 		raw, err := conn.Call(QueryReq{Name: name})
 		if err != nil {
-			return nil, fmt.Errorf("staging: query on server %d: %w", s, err)
+			return nil, wrapCall(err, "query on server %d", s)
 		}
-		for _, v := range raw.(QueryResp).Versions {
+		resp, err := respAs[QueryResp](raw, "query")
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range resp.Versions {
 			seen[v] = struct{}{}
 		}
 	}
@@ -292,9 +334,12 @@ func (c *Client) Stats() (StatsResp, error) {
 	for s, conn := range c.conns {
 		raw, err := conn.Call(StatsReq{})
 		if err != nil {
-			return agg, fmt.Errorf("staging: stats on server %d: %w", s, err)
+			return agg, wrapCall(err, "stats on server %d", s)
 		}
-		st := raw.(StatsResp)
+		st, err := respAs[StatsResp](raw, "stats")
+		if err != nil {
+			return agg, err
+		}
 		agg.StoreBytes += st.StoreBytes
 		agg.LogMetaBytes += st.LogMetaBytes
 		agg.ShardBytes += st.ShardBytes
@@ -316,9 +361,13 @@ func (c *Client) Trace(limit int) ([]string, error) {
 	for sid, conn := range c.conns {
 		raw, err := conn.Call(TraceReq{Limit: limit})
 		if err != nil {
-			return nil, fmt.Errorf("staging: trace on server %d: %w", sid, err)
+			return nil, wrapCall(err, "trace on server %d", sid)
 		}
-		for _, rec := range raw.(TraceResp).Records {
+		resp, err := respAs[TraceResp](raw, "trace")
+		if err != nil {
+			return nil, err
+		}
+		for _, rec := range resp.Records {
 			out = append(out, fmt.Sprintf("s%d %s", sid, rec))
 		}
 	}
@@ -335,7 +384,7 @@ func (c *Client) lockOp(name string, write, release bool) error {
 		if release {
 			op = "unlock"
 		}
-		return fmt.Errorf("staging: %s %q: %w", op, name, err)
+		return wrapCall(err, "%s %q", op, name)
 	}
 	return nil
 }

@@ -81,6 +81,10 @@ func (g *Group) ReplaceServer(id int) error {
 // Server returns the id-th server (for in-proc inspection in tests).
 func (g *Group) Server(id int) *Server { return g.servers[id] }
 
+// Addrs returns the servers' bound addresses in id order (the chaos
+// transport targets faults by address).
+func (g *Group) Addrs() []string { return append([]string(nil), g.addrs...) }
+
 // Close stops all servers.
 func (g *Group) Close() error {
 	var first error

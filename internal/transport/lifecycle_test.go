@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPConcurrentCloseDuringCalls hammers one endpoint with calls
+// while closing clients and finally the endpoint from other goroutines.
+// Every outcome must be a success or a typed error — no hangs, no
+// panics, no garbage decodes. Run under -race.
+func TestTCPConcurrentCloseDuringCalls(t *testing.T) {
+	tr := NewTCPTimeout(2*time.Second, 2*time.Second)
+	ep, err := tr.ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nClients = 8
+	clients := make([]Client, nClients)
+	for i := range clients {
+		c, err := tr.Dial(ep.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i] = c
+	}
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c Client) {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				resp, err := c.Call(echoReq{Msg: fmt.Sprintf("m%d-%d", i, j)})
+				if err != nil {
+					// Typed errors only once the teardown races in.
+					if !Retryable(err) && !errors.Is(err, ErrClosed) {
+						t.Errorf("client %d: untyped error %v", i, err)
+					}
+					return
+				}
+				if r, ok := resp.(echoResp); !ok || r.Msg == "" {
+					t.Errorf("client %d: bad response %v", i, resp)
+					return
+				}
+			}
+		}(i, c)
+	}
+	// Tear down half the clients mid-flight, then the endpoint.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(2 * time.Millisecond)
+		for i := 0; i < nClients/2; i++ {
+			clients[i].Close()
+		}
+		ep.Close()
+	}()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("lifecycle teardown hung")
+	}
+	for _, c := range clients {
+		c.Close()
+	}
+}
+
+func TestTCPDialClosedEndpoint(t *testing.T) {
+	tr := NewTCPTimeout(time.Second, time.Second)
+	ep, err := tr.ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ep.Addr()
+	ep.Close()
+	_, err = tr.Dial(addr)
+	if !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("dial closed endpoint = %v, want ErrNoEndpoint", err)
+	}
+}
+
+func TestTCPCallAfterClientClose(t *testing.T) {
+	tr := NewTCP()
+	ep, err := tr.ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	c, err := tr.Dial(ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(echoReq{Msg: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call(echoReq{Msg: "y"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("call after close = %v, want ErrClosed", err)
+	}
+	// Double close is a no-op.
+	if err := c.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestTCPCloseInterruptsInFlightCall verifies that a client Close from
+// another goroutine unblocks a call parked on a stalled server instead
+// of waiting behind it.
+func TestTCPCloseInterruptsInFlightCall(t *testing.T) {
+	tr := NewTCP() // no call deadline: only Close can unblock
+	entered := make(chan struct{}, 1)
+	block := make(chan struct{})
+	ep, err := tr.ListenTCP("127.0.0.1:0", func(req any) (any, error) {
+		entered <- struct{}{}
+		<-block
+		return req, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	c, err := tr.Dial(ep.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Call(echoReq{Msg: "stuck"})
+		errCh <- err
+	}()
+	<-entered
+	c.Close()
+	select {
+	case err := <-errCh:
+		close(block)
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("interrupted call err = %v, want ErrClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		close(block)
+		t.Fatal("Close did not unblock the in-flight call")
+	}
+}
+
+// TestTCPRedialAfterServerRestart exercises the broken-conn path end to
+// end: the server dies mid-session, calls fail typed, the server comes
+// back on the same port, and the same client resumes via re-dial.
+func TestTCPRedialAfterServerRestart(t *testing.T) {
+	tr := NewTCPTimeout(2*time.Second, time.Second)
+	ep, err := tr.ListenTCP("127.0.0.1:0", echoHandler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ep.Addr()
+	c, err := tr.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Call(echoReq{Msg: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	ep.Close()
+	if _, err := c.Call(echoReq{Msg: "b"}); err == nil || !Retryable(err) {
+		t.Fatalf("call against dead server = %v, want retryable error", err)
+	}
+	// Restart on the same port. The bind can race the kernel's port
+	// release; retry briefly.
+	var ep2 *TCPEndpoint
+	for i := 0; i < 50; i++ {
+		ep2, err = tr.ListenTCP(addr, echoHandler)
+		if err == nil {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	defer ep2.Close()
+	if resp, err := c.Call(echoReq{Msg: "c"}); err != nil || resp.(echoResp).Msg != "echo:c" {
+		t.Fatalf("resume after restart: %v %v", resp, err)
+	}
+}

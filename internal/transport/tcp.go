@@ -2,11 +2,11 @@ package transport
 
 import (
 	"encoding/gob"
-	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // wire envelopes. Payloads are gob-encoded; concrete request/response
@@ -23,10 +23,25 @@ type wireResp struct {
 // TCP is a Transport over TCP sockets with gob framing. Addresses are
 // host:port strings; Listen with a ":0" port allocates an ephemeral
 // port, and the closer's Addr method reports the bound address.
-type TCP struct{}
+type TCP struct {
+	// CallTimeout, when positive, sets a read/write deadline covering
+	// each Call; an expired deadline returns ErrTimeout and marks the
+	// connection broken (the stream may be desynced).
+	CallTimeout time.Duration
+	// DialTimeout, when positive, bounds connection establishment,
+	// including the transparent re-dial after a broken connection.
+	DialTimeout time.Duration
+}
 
-// NewTCP returns a TCP transport.
+// NewTCP returns a TCP transport with no deadlines (calls may block
+// indefinitely); set CallTimeout/DialTimeout for bounded calls.
 func NewTCP() *TCP { return &TCP{} }
+
+// NewTCPTimeout returns a TCP transport with per-call and dial
+// deadlines.
+func NewTCPTimeout(call, dial time.Duration) *TCP {
+	return &TCP{CallTimeout: call, DialTimeout: dial}
+}
 
 // TCPEndpoint is the closer returned by TCP.Listen; it also reports the
 // bound address.
@@ -123,44 +138,133 @@ func (t *TCP) ListenTCP(addr string, h Handler) (*TCPEndpoint, error) {
 	return c.(*TCPEndpoint), nil
 }
 
+// tcpClient is one client connection. callMu serializes calls (the gob
+// stream carries one request/response pair at a time); connMu guards
+// the connection state so Close and Abort can interrupt an in-flight
+// call instead of waiting behind it.
 type tcpClient struct {
-	mu   sync.Mutex
-	conn net.Conn
-	enc  *gob.Encoder
-	dec  *gob.Decoder
+	addr        string
+	callTimeout time.Duration
+	dialTimeout time.Duration
+
+	callMu sync.Mutex
+
+	connMu sync.Mutex
+	closed bool
+	conn   net.Conn // nil when broken; re-dialled on the next Call
+	enc    *gob.Encoder
+	dec    *gob.Decoder
 }
 
 // Dial implements Transport.
 func (t *TCP) Dial(addr string) (Client, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %q: %v", ErrNoEndpoint, addr, err)
+	c := &tcpClient{addr: addr, callTimeout: t.CallTimeout, dialTimeout: t.DialTimeout}
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if err := c.redialLocked(); err != nil {
+		return nil, err
 	}
-	return &tcpClient{conn: conn, enc: gob.NewEncoder(conn), dec: gob.NewDecoder(conn)}, nil
+	return c, nil
+}
+
+// redialLocked (re)establishes the connection. Callers hold c.connMu.
+func (c *tcpClient) redialLocked() error {
+	var conn net.Conn
+	var err error
+	if c.dialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	} else {
+		conn, err = net.Dial("tcp", c.addr)
+	}
+	if err != nil {
+		return fmt.Errorf("%w: %q: %v", ErrNoEndpoint, c.addr, err)
+	}
+	c.conn = conn
+	c.enc = gob.NewEncoder(conn)
+	c.dec = gob.NewDecoder(conn)
+	return nil
+}
+
+// breakConn tears down a connection that failed mid-call: the gob
+// stream may be desynced, so the next Call must re-dial rather than
+// decode garbage from it.
+func (c *tcpClient) breakConn(conn net.Conn, err error) error {
+	c.connMu.Lock()
+	closed := c.closed
+	if c.conn == conn {
+		conn.Close()
+		c.conn = nil
+		c.enc = nil
+		c.dec = nil
+	}
+	c.connMu.Unlock()
+	if closed {
+		return fmt.Errorf("%w: %q: %v", ErrClosed, c.addr, err)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		return fmt.Errorf("%w: %q: %v", ErrTimeout, c.addr, err)
+	}
+	return fmt.Errorf("%w: %q: %v", ErrConnBroken, c.addr, err)
 }
 
 func (c *tcpClient) Call(req any) (any, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.conn == nil {
+	c.callMu.Lock()
+	defer c.callMu.Unlock()
+	c.connMu.Lock()
+	if c.closed {
+		c.connMu.Unlock()
 		return nil, ErrClosed
 	}
-	if err := c.enc.Encode(&wireReq{Payload: req}); err != nil {
-		return nil, err
+	if c.conn == nil {
+		if err := c.redialLocked(); err != nil {
+			c.connMu.Unlock()
+			return nil, err
+		}
+	}
+	conn, enc, dec := c.conn, c.enc, c.dec
+	c.connMu.Unlock()
+
+	if c.callTimeout > 0 {
+		conn.SetDeadline(time.Now().Add(c.callTimeout))
+	}
+	if err := enc.Encode(&wireReq{Payload: req}); err != nil {
+		return nil, c.breakConn(conn, err)
 	}
 	var resp wireResp
-	if err := c.dec.Decode(&resp); err != nil {
-		return nil, err
+	if err := dec.Decode(&resp); err != nil {
+		return nil, c.breakConn(conn, err)
+	}
+	if c.callTimeout > 0 {
+		conn.SetDeadline(time.Time{})
 	}
 	if resp.Err != "" {
-		return resp.Payload, errors.New(resp.Err)
+		return resp.Payload, &RemoteError{Msg: resp.Err}
 	}
 	return resp.Payload, nil
 }
 
+// Abort kills the live connection without closing the client, marking
+// it broken so the next Call re-dials. In-flight calls fail with
+// ErrConnBroken. The chaos transport uses it to model connection
+// resets.
+func (c *tcpClient) Abort() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.enc = nil
+		c.dec = nil
+	}
+}
+
 func (c *tcpClient) Close() error {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
 	if c.conn == nil {
 		return nil
 	}

@@ -11,7 +11,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"sync"
+	"syscall"
+	"time"
 )
 
 // Handler serves one request and returns a response. Handlers must be
@@ -41,12 +44,64 @@ var ErrNoEndpoint = errors.New("transport: no such endpoint")
 // ErrClosed is returned by operations on a closed client or endpoint.
 var ErrClosed = errors.New("transport: closed")
 
+// ErrTimeout is returned when a call exceeds its configured deadline.
+var ErrTimeout = errors.New("transport: call timeout")
+
+// ErrConnBroken is returned when a connection died mid-call (reset,
+// EOF, desynced stream). The payload state of the call is unknown; the
+// client re-dials on the next call.
+var ErrConnBroken = errors.New("transport: connection broken")
+
+// RemoteError carries an error returned by the remote handler, as
+// opposed to a transport fault. Remote errors are terminal: the request
+// was delivered and the server answered, so retrying cannot help.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return e.Msg }
+
+// Retryable reports whether err is a transient transport fault worth
+// retrying: timeouts, broken/reset connections, and missing endpoints
+// (a server mid-restart dials as ErrNoEndpoint). Handler errors
+// (RemoteError or any error an in-process handler returns directly) and
+// local ErrClosed are terminal.
+func Retryable(err error) bool {
+	if err == nil {
+		return false
+	}
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return false
+	}
+	if errors.Is(err, ErrClosed) {
+		return false
+	}
+	if errors.Is(err, ErrTimeout) || errors.Is(err, ErrConnBroken) || errors.Is(err, ErrNoEndpoint) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	return false
+}
+
 // ---------------------------------------------------------------------
 // In-process transport.
 
 // InProc is a process-local transport: Dial returns a client whose Call
 // invokes the handler directly on the caller's goroutine.
 type InProc struct {
+	// CallTimeout, when positive, bounds each Call: the handler runs on
+	// its own goroutine and a call that outlives the timeout returns
+	// ErrTimeout (the handler goroutine is left to finish on its own,
+	// mirroring a TCP deadline expiring while the server still works).
+	CallTimeout time.Duration
+
 	mu        sync.RWMutex
 	endpoints map[string]Handler
 }
@@ -99,7 +154,27 @@ func (c *inprocClient) Call(req any) (any, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNoEndpoint, c.addr)
 	}
-	return h(req)
+	timeout := c.t.CallTimeout
+	if timeout <= 0 {
+		return h(req)
+	}
+	type result struct {
+		resp any
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := h(req)
+		done <- result{resp, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-done:
+		return r.resp, r.err
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %q after %v", ErrTimeout, c.addr, timeout)
+	}
 }
 
 func (c *inprocClient) Close() error {
