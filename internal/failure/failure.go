@@ -131,8 +131,11 @@ func Exponential(seed int64, mtbf time.Duration, n int, horizon time.Duration, t
 // [meanFault/2, 3*meanFault/2). The schedule is deterministic for a
 // given seed; feed it to transport.Chaos.Apply to arm the faults.
 func Chaos(seed int64, n int, horizon, meanFault time.Duration, nServers int, kinds ...Kind) (Schedule, error) {
-	if horizon <= 0 {
-		return nil, fmt.Errorf("failure: non-positive horizon %v", horizon)
+	// Injections land strictly inside (0, horizon), so the horizon must
+	// leave at least one representable instant between the endpoints
+	// (horizon == 1ns would also make Int63n panic on a zero bound).
+	if horizon <= time.Nanosecond {
+		return nil, fmt.Errorf("failure: horizon %v too short", horizon)
 	}
 	if meanFault <= 0 {
 		return nil, fmt.Errorf("failure: non-positive mean fault duration %v", meanFault)

@@ -124,3 +124,21 @@ func TestChaosScheduleProperties(t *testing.T) {
 		t.Fatal("rank fail-stop kind accepted")
 	}
 }
+
+// TestChaosRejectsDegenerateHorizon: a 1ns horizon leaves no instant
+// strictly inside (0, horizon) and used to panic in Int63n(0).
+func TestChaosRejectsDegenerateHorizon(t *testing.T) {
+	if _, err := Chaos(1, 1, time.Nanosecond, time.Millisecond, 2); err == nil {
+		t.Fatal("1ns horizon accepted")
+	}
+	// The smallest valid horizon must work, not panic.
+	s, err := Chaos(1, 5, 2*time.Nanosecond, time.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, inj := range s {
+		if inj.At <= 0 || inj.At >= 2*time.Nanosecond {
+			t.Fatalf("injection at %v outside (0, 2ns)", inj.At)
+		}
+	}
+}

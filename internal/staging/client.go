@@ -117,6 +117,10 @@ type Client struct {
 	app   string
 	pool  *Pool
 	conns []transport.Client
+	// lockSeq numbers this rank's lock operations so the lock server can
+	// deduplicate retried requests (the client is per-rank and serial,
+	// so a plain counter suffices).
+	lockSeq uint64
 	// CumulativeWriteTime accumulates client-observed put response
 	// time, the Figure 9(a)/(b) metric.
 	cumWrite time.Duration
@@ -266,6 +270,13 @@ func (c *Client) GetWithLog(name string, version int64, bbox domain.BBox) ([]byt
 // WorkflowCheck notifies all staging servers that this rank has
 // checkpointed (workflow_check in Table I). It returns the bytes freed
 // by the end-of-cycle garbage collection.
+//
+// The freed-bytes count is at-least-once accounting: if a server's
+// response is lost and the retry layer re-sends the request, the retried
+// call reports only the (usually zero) bytes freed by the second GC
+// pass, so the aggregate is a lower bound under transient faults. The
+// checkpoint itself is safe to re-apply: re-marking the same log
+// position is a no-op.
 func (c *Client) WorkflowCheck() (int64, error) {
 	var freed int64
 	for s, conn := range c.conns {
@@ -285,6 +296,13 @@ func (c *Client) WorkflowCheck() (int64, error) {
 // WorkflowRestart rebuilds the staging client and switches this rank
 // into replay mode on all servers (workflow_restart in Table I). It
 // returns the total number of events that will be replayed.
+//
+// The replay-event count is at-least-once accounting: a retried
+// RecoveryReq regenerates the replay script from the same checkpoint
+// frontier (no replayed op can have happened in between, since this
+// client issues them), so the switch into replay mode is idempotent,
+// but a response lost after the server processed the request can make
+// the reported count reflect the re-executed call.
 func (c *Client) WorkflowRestart() (int, error) {
 	if err := c.Reconnect(); err != nil {
 		return 0, err
@@ -378,7 +396,8 @@ func (c *Client) Trace(limit int) ([]string, error) {
 const lockServer = 0
 
 func (c *Client) lockOp(name string, write, release bool) error {
-	req := LockReq{Name: name, Holder: c.app, Write: write, Release: release}
+	c.lockSeq++
+	req := LockReq{Name: name, Holder: c.app, Write: write, Release: release, Seq: c.lockSeq}
 	if _, err := c.conns[lockServer].Call(req); err != nil {
 		op := "lock"
 		if release {

@@ -1,0 +1,188 @@
+package staging
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"gospaces/internal/transport"
+)
+
+// lockDropper wraps a transport and drops the response of completed
+// LockReq calls while armed: the handler runs (the lock transition is
+// applied server-side) but the client observes ErrTimeout, exactly the
+// ambiguity a lost response frame produces under the retry layer.
+type lockDropper struct {
+	inner transport.Transport
+
+	mu    sync.Mutex
+	drops int // remaining lock responses to discard
+}
+
+func (d *lockDropper) arm(n int) {
+	d.mu.Lock()
+	d.drops = n
+	d.mu.Unlock()
+}
+
+func (d *lockDropper) Listen(addr string, h transport.Handler) (io.Closer, error) {
+	return d.inner.Listen(addr, h)
+}
+
+func (d *lockDropper) Dial(addr string) (transport.Client, error) {
+	c, err := d.inner.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &lockDropClient{d: d, inner: c}, nil
+}
+
+type lockDropClient struct {
+	d     *lockDropper
+	inner transport.Client
+}
+
+func (c *lockDropClient) Call(req any) (any, error) {
+	resp, err := c.inner.Call(req)
+	if _, isLock := req.(LockReq); isLock && err == nil {
+		c.d.mu.Lock()
+		if c.d.drops > 0 {
+			c.d.drops--
+			c.d.mu.Unlock()
+			return nil, fmt.Errorf("%w: lock response dropped", transport.ErrTimeout)
+		}
+		c.d.mu.Unlock()
+	}
+	return resp, err
+}
+
+func (c *lockDropClient) Close() error { return c.inner.Close() }
+
+// TestLockRetryIdempotent: lock RPCs go through the retry layer, but
+// lock transitions are not idempotent, so the server must deduplicate
+// retried requests whose original response was lost. Every lock
+// operation here has its first response dropped; the retried request
+// must observe the original outcome — no "already holds write lock" on
+// a retried write acquire, no ErrNotHeld on a retried release, and no
+// leaked recursion count on a retried read acquire.
+func TestLockRetryIdempotent(t *testing.T) {
+	dropper := &lockDropper{inner: transport.NewInProc()}
+	tr := transport.WithRetry(dropper, transport.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond, Jitter: 0, Seed: 1,
+	})
+	g, err := StartGroup(tr, "lockretry", soakConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	c, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	dropper.arm(1)
+	if err := c.LockOnWrite("f"); err != nil {
+		t.Fatalf("retried write acquire: %v", err)
+	}
+	if w, _ := g.Server(lockServer).locks.Holders("f"); w != "sim/0" {
+		t.Fatalf("writer = %q after retried acquire", w)
+	}
+	dropper.arm(1)
+	if err := c.UnlockOnWrite("f"); err != nil {
+		t.Fatalf("retried write release: %v", err)
+	}
+	if w, _ := g.Server(lockServer).locks.Holders("f"); w != "" {
+		t.Fatalf("writer = %q after retried release", w)
+	}
+
+	dropper.arm(1)
+	if err := c.LockOnRead("f"); err != nil {
+		t.Fatalf("retried read acquire: %v", err)
+	}
+	if err := c.UnlockOnRead("f"); err != nil {
+		t.Fatalf("single read release after retried acquire: %v", err)
+	}
+	if _, readers := g.Server(lockServer).locks.Holders("f"); readers != 0 {
+		t.Fatalf("%d readers left: retried read acquire leaked a recursion count", readers)
+	}
+
+	// End to end: a writer must acquire promptly, proving no lock state
+	// was leaked by any of the retried operations above.
+	w, err := g.NewClient("ana/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	done := make(chan error, 1)
+	go func() { done <- w.LockOnWrite("f") }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write lock blocked forever after retried lock ops")
+	}
+}
+
+// TestLockRetryDuplicateWaitsForOriginal: an acquire that blocks in the
+// lock queue past the call deadline is retried while the original
+// handler is still executing. The retry must be recognized as a
+// duplicate and wait out the original's outcome — not queue a second
+// acquisition that would either error ("already holds write lock") or
+// strand an extra pending acquire in the lock table.
+func TestLockRetryDuplicateWaitsForOriginal(t *testing.T) {
+	inproc := transport.NewInProc()
+	inproc.CallTimeout = 100 * time.Millisecond
+	tr := transport.WithRetry(inproc, transport.RetryPolicy{
+		MaxAttempts: 8, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: 0, Seed: 1,
+	})
+	g, err := StartGroup(tr, "lockdup", soakConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	holder, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer holder.Close()
+	if err := holder.LockOnWrite("f"); err != nil {
+		t.Fatal(err)
+	}
+
+	waiter, err := g.NewClient("ana/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer waiter.Close()
+	done := make(chan error, 1)
+	go func() { done <- waiter.LockOnWrite("f") }()
+
+	// Hold the lock across several call deadlines so the waiter's
+	// acquire times out and retries while its original handler is still
+	// parked in the lock queue.
+	time.Sleep(250 * time.Millisecond)
+	if err := holder.UnlockOnWrite("f"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retried queued acquire: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("queued acquire never completed")
+	}
+	if w, _ := g.Server(lockServer).locks.Holders("f"); w != "ana/0" {
+		t.Fatalf("writer = %q, want ana/0", w)
+	}
+	if err := waiter.UnlockOnWrite("f"); err != nil {
+		t.Fatal(err)
+	}
+}

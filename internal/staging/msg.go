@@ -128,6 +128,13 @@ type LockReq struct {
 	Holder  string
 	Write   bool
 	Release bool
+	// Seq is the holder's lock-operation sequence number. Lock
+	// transitions are not idempotent (acquire/release change state), so
+	// when the retry layer re-sends a request whose response was lost,
+	// the server uses (Holder, Seq) to recognize the duplicate and
+	// return the original outcome instead of re-executing. Zero means
+	// "no dedup" (legacy callers).
+	Seq uint64
 }
 
 // LockResp acknowledges a lock operation.

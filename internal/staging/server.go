@@ -38,21 +38,44 @@ type Server struct {
 	locks *locks.Manager
 	trace *trace.Buffer
 
+	// lockOps deduplicates retried lock RPCs per holder (see handleLock).
+	lockMu  sync.Mutex
+	lockOps map[string]*lockAttempt
+
 	mu         sync.Mutex
 	shards     map[string]map[int][]byte
 	shardBytes int64
 }
 
+// lockAttempt records the latest lock RPC admitted for one holder. Lock
+// transitions are not idempotent, so a retried request (same holder,
+// sequence number, and operation — the response to the original was
+// lost in transit) must observe the original outcome rather than
+// re-execute: a re-applied read acquire would double-count recursion,
+// and a re-applied write acquire or release would fail terminally even
+// though the operation succeeded.
+type lockAttempt struct {
+	seq     uint64
+	name    string
+	kind    locks.Kind
+	release bool
+	// done is closed once err is set; duplicates block on it so a retry
+	// that races the still-executing original waits out the result.
+	done chan struct{}
+	err  error
+}
+
 // NewServer creates staging server id.
 func NewServer(id int) *Server {
 	return &Server{
-		id:     id,
-		store:  store.New(),
-		log:    wlog.New(),
-		reg:    metrics.NewRegistry(),
-		locks:  locks.NewManager(),
-		trace:  trace.New(512),
-		shards: make(map[string]map[int][]byte),
+		id:      id,
+		store:   store.New(),
+		log:     wlog.New(),
+		reg:     metrics.NewRegistry(),
+		locks:   locks.NewManager(),
+		trace:   trace.New(512),
+		lockOps: make(map[string]*lockAttempt),
+		shards:  make(map[string]map[int][]byte),
 	}
 }
 
@@ -227,8 +250,13 @@ func (s *Server) handleRecovery(r RecoveryReq) (any, error) {
 	s.trace.Add(trace.Record{Op: trace.OpRecovery, App: r.App, Bytes: int64(len(script))})
 	// A failed component must not dam the workflow with locks it held
 	// when it died; recovery drops them (part of rebuilding the staging
-	// client, §III-C).
+	// client, §III-C). The lock dedup entry goes with them: the
+	// recovered client restarts its sequence counter, and a stale entry
+	// could alias its first post-recovery lock operation.
 	s.locks.ReleaseAll(r.App)
+	s.lockMu.Lock()
+	delete(s.lockOps, r.App)
+	s.lockMu.Unlock()
 	return RecoveryResp{ReplayEvents: len(script)}, nil
 }
 
@@ -249,6 +277,33 @@ func (s *Server) handleLock(r LockReq) (any, error) {
 	if r.Write {
 		kind = locks.Write
 	}
+	if r.Seq == 0 {
+		// Legacy caller without retry dedup: execute directly.
+		return s.applyLock(r, kind)
+	}
+	s.lockMu.Lock()
+	if a, ok := s.lockOps[r.Holder]; ok &&
+		a.seq == r.Seq && a.name == r.Name && a.kind == kind && a.release == r.Release {
+		// Retry of an RPC whose response was lost: return the original
+		// outcome (waiting it out if the original is still executing)
+		// instead of re-applying a non-idempotent lock transition.
+		s.lockMu.Unlock()
+		<-a.done
+		if a.err != nil {
+			return nil, a.err
+		}
+		return LockResp{}, nil
+	}
+	a := &lockAttempt{seq: r.Seq, name: r.Name, kind: kind, release: r.Release, done: make(chan struct{})}
+	s.lockOps[r.Holder] = a
+	s.lockMu.Unlock()
+	resp, err := s.applyLock(r, kind)
+	a.err = err
+	close(a.done)
+	return resp, err
+}
+
+func (s *Server) applyLock(r LockReq, kind locks.Kind) (any, error) {
 	var err error
 	if r.Release {
 		err = s.locks.Release(r.Name, r.Holder, kind)

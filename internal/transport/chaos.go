@@ -31,7 +31,7 @@ type Chaos struct {
 	rng     *rand.Rand
 	start   time.Time
 	windows map[int][]chaosWindow // keyed by server id
-	addrs   map[string]int       // addr -> server id for Apply schedules
+	addrs   map[string]int        // addr -> server id for Apply schedules
 	clients map[string][]*chaosClient
 
 	// per-call probabilistic faults (client side)
@@ -94,6 +94,10 @@ func (c *Chaos) Apply(sched failure.Schedule, addrs []string) {
 	defer c.mu.Unlock()
 	c.start = time.Now()
 	c.windows = make(map[int][]chaosWindow)
+	// Rebuild the mapping from scratch: stale addr→id entries from a
+	// previous Apply (or ids synthesized by Blackout) must not route the
+	// new windows to the wrong address.
+	c.addrs = make(map[string]int)
 	for id, a := range addrs {
 		c.addrs[a] = id
 	}

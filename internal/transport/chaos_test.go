@@ -180,3 +180,32 @@ func TestChaosKillConnsBreaksInFlightCall(t *testing.T) {
 		t.Fatal("in-flight call hung after connection kill")
 	}
 }
+
+// TestChaosApplyResetsAddrMappings: re-arming a schedule with a
+// different address list must not leave stale addr->id mappings behind,
+// which would route the new fault windows to the wrong address.
+func TestChaosApplyResetsAddrMappings(t *testing.T) {
+	ch := NewChaos(NewInProc(), 1)
+	defer echoServer(t, ch, "a")()
+	defer echoServer(t, ch, "b")()
+	sched := failure.Schedule{
+		{Kind: failure.ServerCrash, Server: 0, Duration: time.Hour},
+	}
+	ch.Apply(sched, []string{"a"})
+	if _, err := ch.Dial("a"); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("dial a under first schedule = %v, want ErrNoEndpoint", err)
+	}
+	// Re-arm with server 0 now living at "b": "a" must be clean.
+	ch.Apply(sched, []string{"b"})
+	ca, err := ch.Dial("a")
+	if err != nil {
+		t.Fatalf("stale mapping still blacks out a: %v", err)
+	}
+	defer ca.Close()
+	if _, err := ca.Call("x"); err != nil {
+		t.Fatalf("call to a after re-arm: %v", err)
+	}
+	if _, err := ch.Dial("b"); !errors.Is(err, ErrNoEndpoint) {
+		t.Fatalf("dial b under second schedule = %v, want ErrNoEndpoint", err)
+	}
+}

@@ -70,6 +70,12 @@ type Retrying struct {
 	pol   RetryPolicy
 	reg   *metrics.Registry
 
+	// done is closed by Close: callers sleeping in a retry backoff wake
+	// immediately and fail with ErrClosed instead of continuing to retry
+	// against shut-down resources.
+	done      chan struct{}
+	closeOnce sync.Once
+
 	mu     sync.Mutex
 	rng    *rand.Rand
 	budget int64 // remaining retries when pol.Budget > 0
@@ -86,9 +92,18 @@ func WithRetry(inner Transport, pol RetryPolicy) *Retrying {
 		inner:  inner,
 		pol:    pol,
 		reg:    metrics.NewRegistry(),
+		done:   make(chan struct{}),
 		rng:    rand.New(rand.NewSource(seed)),
 		budget: pol.Budget,
 	}
+}
+
+// Close shuts the policy layer down: any caller sleeping in a retry
+// backoff is woken and fails with ErrClosed. The inner transport is not
+// closed (it may be shared); Close is idempotent.
+func (r *Retrying) Close() error {
+	r.closeOnce.Do(func() { close(r.done) })
+	return nil
 }
 
 // Metrics returns the registry recording rpc.calls, rpc.retries,
@@ -135,7 +150,10 @@ func (r *Retrying) spendRetry() bool {
 }
 
 // retry runs op up to MaxAttempts times, backing off between attempts.
-func (r *Retrying) retry(what string, op func() error) error {
+// The backoff is interruptible: closing the Retrying layer or the stop
+// channel (a per-client close; nil is allowed) wakes the sleeper and
+// fails the call with ErrClosed.
+func (r *Retrying) retry(what string, stop <-chan struct{}, op func() error) error {
 	var err error
 	for attempt := 0; ; attempt++ {
 		err = op()
@@ -157,7 +175,16 @@ func (r *Retrying) retry(what string, op func() error) error {
 			return fmt.Errorf("transport: %s: retry budget exhausted: %w", what, err)
 		}
 		r.reg.Counter("rpc.retries").Inc()
-		time.Sleep(r.delay(attempt))
+		timer := time.NewTimer(r.delay(attempt))
+		select {
+		case <-timer.C:
+		case <-r.done:
+			timer.Stop()
+			return fmt.Errorf("transport: %s: %w during retry backoff (last error: %v)", what, ErrClosed, err)
+		case <-stop:
+			timer.Stop()
+			return fmt.Errorf("transport: %s: %w during retry backoff (last error: %v)", what, ErrClosed, err)
+		}
 	}
 }
 
@@ -167,7 +194,7 @@ func isTimeout(err error) bool { return errors.Is(err, ErrTimeout) }
 // dial failures (a server mid-restart refuses connections briefly).
 func (r *Retrying) Dial(addr string) (Client, error) {
 	var c Client
-	err := r.retry("dial "+addr, func() error {
+	err := r.retry("dial "+addr, nil, func() error {
 		var e error
 		c, e = r.inner.Dial(addr)
 		return e
@@ -175,19 +202,21 @@ func (r *Retrying) Dial(addr string) (Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &retryClient{r: r, addr: addr, inner: c}, nil
+	return &retryClient{r: r, addr: addr, inner: c, done: make(chan struct{})}, nil
 }
 
 type retryClient struct {
-	r     *Retrying
-	addr  string
-	inner Client
+	r         *Retrying
+	addr      string
+	inner     Client
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 func (c *retryClient) Call(req any) (any, error) {
 	c.r.reg.Counter("rpc.calls").Inc()
 	var resp any
-	err := c.r.retry("call "+c.addr, func() error {
+	err := c.r.retry("call "+c.addr, c.done, func() error {
 		var e error
 		resp, e = c.inner.Call(req)
 		return e
@@ -195,7 +224,10 @@ func (c *retryClient) Call(req any) (any, error) {
 	return resp, err
 }
 
-func (c *retryClient) Close() error { return c.inner.Close() }
+func (c *retryClient) Close() error {
+	c.closeOnce.Do(func() { close(c.done) })
+	return c.inner.Close()
+}
 
 // Unwrap exposes the wrapped client (the chaos transport and tests peek
 // through the policy layer).

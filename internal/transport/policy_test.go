@@ -202,3 +202,62 @@ func TestRetryableClassification(t *testing.T) {
 		}
 	}
 }
+
+// TestCloseInterruptsRetryBackoff: shutting the policy layer down must
+// wake callers sleeping in a retry backoff instead of letting them
+// finish a retry storm against closed resources.
+func TestCloseInterruptsRetryBackoff(t *testing.T) {
+	tr := WithRetry(NewInProc(), RetryPolicy{
+		MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour, Jitter: 0, Seed: 1,
+	})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tr.Dial("nowhere") // ErrNoEndpoint is retryable -> 1h backoff
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	tr.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("dial still sleeping in backoff after Close")
+	}
+}
+
+// TestClientCloseInterruptsCallBackoff: closing one retry client must
+// wake that client's in-flight call out of its backoff sleep.
+func TestClientCloseInterruptsCallBackoff(t *testing.T) {
+	inner := NewInProc()
+	closer, err := inner.Listen("s", func(req any) (any, error) {
+		return nil, fmt.Errorf("%w: induced", ErrTimeout)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	tr := WithRetry(inner, RetryPolicy{
+		MaxAttempts: 100, BaseDelay: time.Hour, MaxDelay: time.Hour, Jitter: 0, Seed: 1,
+	})
+	c, err := tr.Dial("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Call("x")
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrClosed) {
+			t.Fatalf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("call still sleeping in backoff after client Close")
+	}
+}
