@@ -16,10 +16,11 @@ build:
 test: build
 	$(GO) test ./...
 
-# The resilience acceptance gate: transport and staging under the race
-# detector (includes the chaos soak and lifecycle tests).
+# The resilience acceptance gate: transport, staging, and the
+# fail-stop recovery stack under the race detector (includes the chaos
+# soak, lifecycle, and supervised-recovery tests).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/staging/...
+	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/health/... ./internal/recovery/... ./internal/corec/...
 
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:

@@ -15,6 +15,8 @@
 //	trace [n]               dump the servers' recent protocol trace
 //	restart                 switch to replay mode (workflow_restart)
 //	stats                   print aggregated staging statistics
+//	health                  probe each server's liveness, membership
+//	                        epoch, spare status, and rebuild counters
 package main
 
 import (
@@ -54,13 +56,18 @@ func main() {
 
 func run(servers, domainStr string, elem, bits int, app string, opts gospaces.DialOptions, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("missing command (put/get/versions/check/restart/stats)")
+		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health)")
 	}
 	global, err := parseDomain(domainStr)
 	if err != nil {
 		return err
 	}
 	addrs := strings.Split(servers, ",")
+	// health probes each address directly — dead servers must show up
+	// as rows, not abort pool construction.
+	if args[0] == "health" {
+		return healthCmd(addrs, opts)
+	}
 	pool, err := gospaces.ConnectWithOptions(addrs, gospaces.StagingConfig{
 		Global:   global,
 		NServers: len(addrs),
@@ -151,6 +158,27 @@ func run(servers, domainStr string, elem, bits int, app string, opts gospaces.Di
 		fmt.Printf("gc freed bytes:   %d\n", st.GCFreedBytes)
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
+	}
+	return nil
+}
+
+func healthCmd(addrs []string, opts gospaces.DialOptions) error {
+	dead := 0
+	for _, h := range gospaces.ProbeHealth(addrs, opts) {
+		if !h.Alive {
+			dead++
+			fmt.Printf("%-22s DEAD  %s\n", h.Addr, h.Err)
+			continue
+		}
+		role := "member"
+		if h.Spare {
+			role = "spare"
+		}
+		fmt.Printf("%-22s ALIVE id=%d epoch=%d role=%s shard_bytes=%d rebuilt_shards=%d rebuilt_bytes=%d\n",
+			h.Addr, h.ID, h.Epoch, role, h.ShardBytes, h.RebuiltShards, h.RebuiltBytes)
+	}
+	if dead > 0 {
+		return fmt.Errorf("%d of %d servers unreachable", dead, len(addrs))
 	}
 	return nil
 }

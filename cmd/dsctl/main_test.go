@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"gospaces"
 )
@@ -56,6 +57,7 @@ func TestEndToEndAgainstLiveServers(t *testing.T) {
 		{"restart"},
 		{"trace", "5"},
 		{"stats"},
+		{"health"},
 	} {
 		if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), cmd); err != nil {
 			t.Fatalf("%v: %v", cmd, err)
@@ -69,5 +71,51 @@ func TestEndToEndAgainstLiveServers(t *testing.T) {
 	}
 	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), []string{"trace", "zz"}); err == nil {
 		t.Fatal("bad trace limit accepted")
+	}
+}
+
+// TestHealthCommand probes a live member, a live spare, and a dead
+// address: the live rows report role and the dead one turns the
+// command into an error without aborting the probe.
+func TestHealthCommand(t *testing.T) {
+	member, err := gospaces.Serve("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer member.Close()
+	spare, err := gospaces.ServeWithOptions("127.0.0.1:0", 1, gospaces.ServeOptions{Spare: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spare.Close()
+
+	opts := gospaces.DefaultDialOptions()
+	opts.DialTimeout = time.Second
+	opts.Retry.MaxAttempts = 1
+
+	if err := healthCmd([]string{member.Addr(), spare.Addr()}, opts); err != nil {
+		t.Fatalf("all-alive health failed: %v", err)
+	}
+
+	hs := gospaces.ProbeHealth([]string{member.Addr(), spare.Addr()}, opts)
+	if !hs[0].Alive || hs[0].Spare {
+		t.Fatalf("member health = %+v", hs[0])
+	}
+	if !hs[1].Alive || !hs[1].Spare || hs[1].ID != 1 {
+		t.Fatalf("spare health = %+v", hs[1])
+	}
+
+	dead, err := gospaces.Serve("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close()
+	if err := healthCmd([]string{member.Addr(), deadAddr}, opts); err == nil {
+		t.Fatal("dead server not reported")
+	}
+	hs = gospaces.ProbeHealth([]string{deadAddr}, opts)
+	if hs[0].Alive || hs[0].Err == "" {
+		t.Fatalf("dead health = %+v", hs[0])
 	}
 }

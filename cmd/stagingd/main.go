@@ -8,6 +8,7 @@
 //
 //	stagingd -addr :7070 -id 0          # one server
 //	stagingd -addr :7070 -servers 4     # a whole group, ports 7070..7073
+//	stagingd -addr :7080 -id 4 -spare   # a warm spare awaiting promotion
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	chaosDelay := flag.Duration("chaos-delay", 20*time.Millisecond, "injected per-request delay")
 	chaosHangProb := flag.Float64("chaos-hang-prob", 0, "probability a handled request hangs (client sees a dropped response)")
 	chaosHang := flag.Duration("chaos-hang", 30*time.Second, "injected hang duration; set beyond client deadlines")
+	spare := flag.Bool("spare", false, "start as a warm spare outside the membership, awaiting promotion by a recovery supervisor")
 	flag.Parse()
 
 	opts := gospaces.ServeOptions{
@@ -40,6 +42,7 @@ func main() {
 		ChaosDelay:     *chaosDelay,
 		ChaosHangProb:  *chaosHangProb,
 		ChaosHang:      *chaosHang,
+		Spare:          *spare,
 	}
 	if *chaosDelayProb > 0 || *chaosHangProb > 0 {
 		fmt.Printf("stagingd: CHAOS MODE: delay p=%.2f (%v), hang p=%.2f (%v), seed %d\n",
@@ -53,7 +56,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "stagingd: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("stagingd: server %d listening on %s\n", *id, srv.Addr())
+		role := ""
+		if *spare {
+			role = " (spare)"
+		}
+		fmt.Printf("stagingd: server %d listening on %s%s\n", *id, srv.Addr(), role)
 		running = append(running, srv)
 	} else {
 		host, base, err := splitHostPort(*addr)

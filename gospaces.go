@@ -39,6 +39,7 @@ import (
 	"gospaces/internal/dht"
 	"gospaces/internal/domain"
 	"gospaces/internal/expt"
+	"gospaces/internal/health"
 	"gospaces/internal/staging"
 	"gospaces/internal/synth"
 	"gospaces/internal/transport"
@@ -149,6 +150,10 @@ type ServeOptions struct {
 	ChaosDelay     time.Duration
 	ChaosHangProb  float64
 	ChaosHang      time.Duration
+	// Spare starts the server as a warm spare: it answers health pings
+	// (reporting Spare=true) but waits outside the membership until a
+	// recovery supervisor promotes it in place of a failed server.
+	Spare bool
 }
 
 // Serve starts staging server id listening on addr (host:port; use
@@ -167,6 +172,7 @@ func ServeWithOptions(addr string, id int, opts ServeOptions) (*StagingServer, e
 		tr = chaos
 	}
 	srv := staging.NewServer(id)
+	srv.SetSpare(opts.Spare)
 	closer, err := tr.Listen(addr, srv.Handle)
 	if err != nil {
 		return nil, fmt.Errorf("gospaces: serve: %w", err)
@@ -254,6 +260,12 @@ type WorkflowResult = workflow.Result
 // FailAt schedules a fail-stop injection into a live workflow run.
 type FailAt = workflow.FailAt
 
+// ServerFailAt schedules a permanent staging-server fail-stop into a
+// live workflow run: the server's listener closes for good at the top
+// of the producer's scheduled timestep, and the recovery supervisor
+// promotes a warm spare in its place.
+type ServerFailAt = workflow.ServerFailAt
+
 // RunWorkflow executes a coupled producer/consumer workflow on live
 // staging with the chosen scheme, injecting and recovering the
 // scheduled failures. Every consumer read is verified against the
@@ -302,6 +314,80 @@ func NewRedundancy(cfg RedundancyConfig, c *Client) (*Redundancy, error) {
 		conns[i] = c.ShardConn(i)
 	}
 	return corec.New(cfg, conns)
+}
+
+// ---------------------------------------------------------------------
+// Health probing (dsctl health wraps this).
+
+// ServerHealth is one staging server's liveness and recovery
+// accounting as seen by a health probe.
+type ServerHealth struct {
+	// Addr is the probed address.
+	Addr string
+	// Alive is true when the server answered the ping.
+	Alive bool
+	// ID is the server's id within its group (valid when Alive).
+	ID int
+	// Epoch is the membership epoch the server holds (0 until the
+	// first recovery pushes a view).
+	Epoch uint64
+	// Spare is true while the server waits outside the membership.
+	Spare bool
+	// ShardBytes, RebuiltShards, RebuiltBytes report the server's
+	// resilience-shard footprint and how much of it was re-written by
+	// recovery re-protection.
+	ShardBytes    int64
+	RebuiltShards int64
+	RebuiltBytes  int64
+	// Err describes the probe failure when Alive is false.
+	Err string
+}
+
+// ProbeHealth pings each address and collects liveness, membership
+// epoch, and recovery accounting. Dead servers are reported with
+// Alive=false rather than failing the probe.
+func ProbeHealth(addrs []string, opts DialOptions) []ServerHealth {
+	tr := transport.NewTCPTimeout(opts.CallTimeout, opts.DialTimeout)
+	out := make([]ServerHealth, len(addrs))
+	for i, addr := range addrs {
+		out[i] = probeOne(tr, addr)
+	}
+	return out
+}
+
+func probeOne(tr transport.Transport, addr string) ServerHealth {
+	h := ServerHealth{Addr: addr}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	defer conn.Close()
+	resp, err := conn.Call(health.PingReq{From: "dsctl"})
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	ping, ok := resp.(health.PingResp)
+	if !ok {
+		h.Err = fmt.Sprintf("unexpected ping response %T", resp)
+		return h
+	}
+	h.Alive = true
+	h.ID = ping.ID
+	h.Epoch = ping.Epoch
+	h.Spare = ping.Spare
+	if sresp, err := conn.Call(staging.StatsReq{}); err == nil {
+		if st, ok := sresp.(staging.StatsResp); ok {
+			h.ShardBytes = st.ShardBytes
+			h.RebuiltShards = st.RebuiltShards
+			h.RebuiltBytes = st.RebuiltBytes
+			if st.Epoch > h.Epoch {
+				h.Epoch = st.Epoch
+			}
+		}
+	}
+	return h
 }
 
 // ---------------------------------------------------------------------

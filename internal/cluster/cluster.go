@@ -75,6 +75,12 @@ type Workflow struct {
 	// MTBF and failure count for the run.
 	MTBF      time.Duration
 	NFailures int
+	// NServerFailures is how many staging servers fail-stop during the
+	// run (fail-stop recovery experiments); StagingSpares is the warm
+	// spare pool provisioned to absorb them (defaults to
+	// NServerFailures when zero).
+	NServerFailures int
+	StagingSpares   int
 }
 
 // BytesPerStep returns the coupled-data volume exchanged per timestep.

@@ -186,8 +186,10 @@ func (c *Client) Get(key string) ([]byte, error) {
 }
 
 // Rebuild re-creates the shards or replicas that lived on a lost server
-// after it has been replaced, restoring full redundancy for key.
-func (c *Client) Rebuild(key string) error {
+// after it has been replaced, restoring full redundancy for key. It
+// returns the bytes re-written (0 when redundancy was already intact);
+// the re-written shards are flagged so servers account them as rebuilt.
+func (c *Client) Rebuild(key string) (int64, error) {
 	switch c.cfg.Mode {
 	case Replication:
 		var good []byte
@@ -198,17 +200,19 @@ func (c *Client) Rebuild(key string) error {
 			}
 		}
 		if good == nil {
-			return ErrUnavailable
+			return 0, ErrUnavailable
 		}
+		var restored int64
 		for i := 0; i < c.cfg.Replicas; i++ {
 			if d, _ := c.fetch(key, i); d == nil {
 				s := c.server(key, i)
-				if _, err := c.conns[s].Call(staging.ShardPutReq{Key: key, Shard: i, Data: good}); err != nil {
-					return err
+				if _, err := c.conns[s].Call(staging.ShardPutReq{Key: key, Shard: i, Data: good, Rebuild: true}); err != nil {
+					return restored, err
 				}
+				restored += int64(len(good))
 			}
 		}
-		return nil
+		return restored, nil
 	default:
 		n := c.cfg.K + c.cfg.M
 		shards := make([][]byte, n)
@@ -224,21 +228,23 @@ func (c *Client) Rebuild(key string) error {
 			}
 		}
 		if have < c.cfg.K {
-			return ErrUnavailable
+			return 0, ErrUnavailable
 		}
 		if len(missing) == 0 {
-			return nil
+			return 0, nil
 		}
 		if err := c.coder.Reconstruct(shards); err != nil {
-			return err
+			return 0, err
 		}
+		var restored int64
 		for _, i := range missing {
 			s := c.server(key, i)
-			if _, err := c.conns[s].Call(staging.ShardPutReq{Key: key, Shard: i, Data: shards[i]}); err != nil {
-				return err
+			if _, err := c.conns[s].Call(staging.ShardPutReq{Key: key, Shard: i, Data: shards[i], Rebuild: true}); err != nil {
+				return restored, err
 			}
+			restored += int64(len(shards[i]))
 		}
-		return nil
+		return restored, nil
 	}
 }
 

@@ -149,7 +149,7 @@ func TestErasureRebuildRestoresRedundancy(t *testing.T) {
 	// Server holding shard 1 dies and is replaced empty.
 	lost := c.server("k", 1)
 	fc[lost].dead = true
-	if err := c.Rebuild("k"); err == nil {
+	if _, err := c.Rebuild("k"); err == nil {
 		// rebuild with a dead server cannot write to it; bring up the
 		// replacement first
 		t.Log("rebuild while down tolerated (wrote other shards)")
@@ -158,8 +158,16 @@ func TestErasureRebuildRestoresRedundancy(t *testing.T) {
 	if _, err := fc[lost].Call(staging.ShardDropReq{Key: "k"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Rebuild("k"); err != nil {
+	restored, err := c.Rebuild("k")
+	if err != nil {
 		t.Fatal(err)
+	}
+	if restored <= 0 {
+		t.Fatalf("restored = %d bytes", restored)
+	}
+	// A second pass finds redundancy intact and writes nothing.
+	if again, err := c.Rebuild("k"); err != nil || again != 0 {
+		t.Fatalf("idempotent rebuild: %d bytes, %v", again, err)
 	}
 	// Now lose two OTHER servers; the rebuilt shard must carry its weight.
 	fc[c.server("k", 0)].dead = true
@@ -182,8 +190,8 @@ func TestReplicationRebuild(t *testing.T) {
 	if _, err := fc[s0].Call(staging.ShardDropReq{Key: "k"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Rebuild("k"); err != nil {
-		t.Fatal(err)
+	if restored, err := c.Rebuild("k"); err != nil || restored != int64(len(data)) {
+		t.Fatalf("restored %d bytes, err %v", restored, err)
 	}
 	// Kill replica 1; replica 0 must now hold a copy.
 	fc[c.server("k", 1)].dead = true

@@ -30,6 +30,12 @@ const (
 	// NetDrop loses responses from one server for Duration: the server
 	// processes the request but the client observes a timeout.
 	NetDrop
+	// ServerFailStop permanently kills one staging server: its state is
+	// lost and the address never recovers. Unlike the transient
+	// ServerCrash there is no recovery horizon — only the recovery
+	// supervisor (internal/recovery) promoting a spare brings the slot
+	// back.
+	ServerFailStop
 )
 
 // String renders the kind for traces and logs.
@@ -43,6 +49,8 @@ func (k Kind) String() string {
 		return "net-delay"
 	case NetDrop:
 		return "net-drop"
+	case ServerFailStop:
+		return "server-fail-stop"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -60,7 +68,8 @@ type Injection struct {
 	// Server is the target staging server id (ServerCrash/Net*).
 	Server int
 	// Duration is the fault window length (ServerCrash/Net*);
-	// fail-stops are instantaneous.
+	// fail-stops — rank or server — are instantaneous and carry zero
+	// duration (a ServerFailStop never recovers).
 	Duration time.Duration
 }
 
@@ -156,9 +165,14 @@ func Chaos(seed int64, n int, horizon, meanFault time.Duration, nServers int, ki
 	for i := 0; i < n; i++ {
 		at := time.Duration(rng.Int63n(int64(horizon)-1)) + 1
 		dur := meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+		kind := kinds[rng.Intn(len(kinds))]
+		if kind == ServerFailStop {
+			// Permanent: no recovery horizon.
+			dur = 0
+		}
 		sched = append(sched, Injection{
 			At:       at,
-			Kind:     kinds[rng.Intn(len(kinds))],
+			Kind:     kind,
 			Server:   rng.Intn(nServers),
 			Duration: dur,
 		})

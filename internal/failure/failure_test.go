@@ -100,6 +100,51 @@ func TestFixedSorts(t *testing.T) {
 	}
 }
 
+func TestKindString(t *testing.T) {
+	cases := []struct {
+		kind Kind
+		want string
+	}{
+		{RankFailStop, "rank-fail-stop"},
+		{ServerCrash, "server-crash"},
+		{NetDelay, "net-delay"},
+		{NetDrop, "net-drop"},
+		{ServerFailStop, "server-fail-stop"},
+		{Kind(99), "kind(99)"},
+	}
+	for _, c := range cases {
+		if got := c.kind.String(); got != c.want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", int(c.kind), got, c.want)
+		}
+	}
+}
+
+func TestChaosEmitsServerFailStop(t *testing.T) {
+	s, err := Chaos(5, 40, time.Hour, time.Minute, 4, ServerCrash, ServerFailStop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failStops := 0
+	for _, inj := range s {
+		switch inj.Kind {
+		case ServerFailStop:
+			failStops++
+			if inj.Duration != 0 {
+				t.Fatalf("fail-stop with recovery horizon %v", inj.Duration)
+			}
+		case ServerCrash:
+			if inj.Duration <= 0 {
+				t.Fatalf("server crash with non-positive duration %v", inj.Duration)
+			}
+		default:
+			t.Fatalf("unexpected kind %v", inj.Kind)
+		}
+	}
+	if failStops == 0 {
+		t.Fatal("40 draws over 2 kinds produced no fail-stops")
+	}
+}
+
 func TestExpectedFailures(t *testing.T) {
 	if got := ExpectedFailures(10*time.Minute, 40*time.Minute); got != 4 {
 		t.Fatalf("expected = %f", got)

@@ -1,0 +1,409 @@
+// Package health provides staging-server failure detection for the
+// recovery supervisor (internal/recovery): a lightweight heartbeat
+// detector that probes each member of a staging group with PingReq RPCs
+// and publishes liveness transitions, plus the epoch-stamped Membership
+// that names the current server set.
+//
+// Detection is φ-style consecutive-miss counting rather than a full
+// accrual detector: a server that misses SuspectAfter consecutive
+// probes is Suspect, one that misses DeadAfter is Dead. A Dead verdict
+// is the trigger for the supervisor's promote-and-re-protect sequence;
+// the detector itself never mutates membership.
+package health
+
+import (
+	"encoding/gob"
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/metrics"
+	"gospaces/internal/transport"
+)
+
+// PingReq is the liveness probe. Staging servers answer it without
+// touching any protected state, so a ping never blocks behind data
+// traffic locks.
+type PingReq struct {
+	// From identifies the prober (supervisor or dsctl), for traces.
+	From string
+}
+
+// PingResp reports the server's identity and membership view.
+type PingResp struct {
+	// ID is the server's id within its group.
+	ID int
+	// Epoch is the membership epoch the server has been told about
+	// (0 until the first EpochSet push).
+	Epoch uint64
+	// Spare is true while the server waits in the spare pool, outside
+	// the membership.
+	Spare bool
+}
+
+func init() {
+	gob.Register(PingReq{})
+	gob.Register(PingResp{})
+}
+
+// State is a probed server's liveness verdict.
+type State int
+
+// Liveness states, ordered by suspicion.
+const (
+	// Alive: the last probe succeeded.
+	Alive State = iota
+	// Suspect: at least SuspectAfter consecutive probes missed.
+	Suspect
+	// Dead: at least DeadAfter consecutive probes missed. Dead is
+	// sticky: the detector keeps probing (a rejoin is reported), but
+	// the supervisor treats the first Dead verdict as a confirmed
+	// fail-stop.
+	Dead
+)
+
+// String renders the state for logs and dsctl health.
+func (s State) String() string {
+	switch s {
+	case Alive:
+		return "alive"
+	case Suspect:
+		return "suspect"
+	case Dead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Event is one liveness transition.
+type Event struct {
+	// Server is the membership slot id.
+	Server int
+	// Addr is the address that was probed.
+	Addr string
+	// State is the new verdict.
+	State State
+	// Misses is the consecutive-miss count at the transition.
+	Misses int
+}
+
+// Config tunes the detector.
+type Config struct {
+	// Period is the probe interval (default 50ms).
+	Period time.Duration
+	// Timeout bounds one probe, independent of the transport's own
+	// deadlines (default 4x Period).
+	Timeout time.Duration
+	// SuspectAfter is the consecutive-miss threshold for Suspect
+	// (default 2).
+	SuspectAfter int
+	// DeadAfter is the consecutive-miss threshold for Dead (default 4).
+	DeadAfter int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Period <= 0 {
+		c.Period = 50 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 4 * c.Period
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 2
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+	return c
+}
+
+// target is one probed server slot.
+type target struct {
+	id     int
+	addr   string
+	conn   transport.Client
+	misses int
+	state  State
+}
+
+// Detector probes a set of staging servers and publishes liveness
+// transitions. Create with NewDetector, arm targets with Watch/SetAddr,
+// then Start; Close stops the probe loop and closes subscriber
+// channels.
+type Detector struct {
+	tr   transport.Transport
+	cfg  Config
+	from string
+	reg  *metrics.Registry
+
+	mu      sync.Mutex
+	targets map[int]*target
+	subs    []chan Event
+	started bool
+	closed  bool
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewDetector creates a detector probing over tr on behalf of prober
+// identity `from` (e.g. "supervisor/0").
+func NewDetector(tr transport.Transport, from string, cfg Config) *Detector {
+	return &Detector{
+		tr:      tr,
+		cfg:     cfg.withDefaults(),
+		from:    from,
+		reg:     metrics.NewRegistry(),
+		targets: make(map[int]*target),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Metrics returns the registry recording health.probes, health.misses,
+// health.deaths, and health.rejoins.
+func (d *Detector) Metrics() *metrics.Registry { return d.reg }
+
+// Window returns the worst-case detection latency: the time from a
+// fail-stop to the Dead verdict (DeadAfter missed periods plus one
+// probe timeout). Callers that need verdict stability — "nothing has
+// failed recently" — wait out a full window.
+func (d *Detector) Window() time.Duration {
+	return time.Duration(d.cfg.DeadAfter)*d.cfg.Period + d.cfg.Timeout
+}
+
+// Watch adds (or re-targets) membership slot id at addr. The slot
+// starts Alive with a clean miss count.
+func (d *Detector) Watch(id int, addr string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if t, ok := d.targets[id]; ok && t.conn != nil {
+		t.conn.Close()
+	}
+	d.targets[id] = &target{id: id, addr: addr, state: Alive}
+}
+
+// SetAddr re-targets slot id at a new address after a promotion,
+// resetting its liveness state. It is Watch under the name the
+// supervisor uses.
+func (d *Detector) SetAddr(id int, addr string) { d.Watch(id, addr) }
+
+// Subscribe returns a channel of liveness transitions. The channel is
+// buffered; a subscriber that falls far behind loses the oldest
+// transitions (the current verdict is always available via States).
+// Close closes all subscriber channels.
+func (d *Detector) Subscribe() <-chan Event {
+	ch := make(chan Event, 64)
+	d.mu.Lock()
+	d.subs = append(d.subs, ch)
+	d.mu.Unlock()
+	return ch
+}
+
+// States returns the current verdict per slot id.
+func (d *Detector) States() map[int]State {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[int]State, len(d.targets))
+	for id, t := range d.targets {
+		out[id] = t.state
+	}
+	return out
+}
+
+// Start launches the probe loop. It is a no-op when already started.
+func (d *Detector) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	go d.loop()
+}
+
+// Close stops probing and closes subscriber channels.
+func (d *Detector) Close() error {
+	d.stopOnce.Do(func() { close(d.stop) })
+	d.mu.Lock()
+	started := d.started
+	d.mu.Unlock()
+	if started {
+		<-d.done
+	} else {
+		d.closeSubs()
+	}
+	return nil
+}
+
+func (d *Detector) closeSubs() {
+	d.mu.Lock()
+	d.closed = true
+	subs := d.subs
+	d.subs = nil
+	for _, t := range d.targets {
+		if t.conn != nil {
+			t.conn.Close()
+			t.conn = nil
+		}
+	}
+	d.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+func (d *Detector) loop() {
+	defer close(d.done)
+	defer d.closeSubs()
+	ticker := time.NewTicker(d.cfg.Period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-ticker.C:
+			d.probeAll()
+		}
+	}
+}
+
+// probeAll pings every target once, concurrently, and folds the
+// results into the miss counters.
+func (d *Detector) probeAll() {
+	d.mu.Lock()
+	snapshot := make([]*target, 0, len(d.targets))
+	for _, t := range d.targets {
+		snapshot = append(snapshot, t)
+	}
+	d.mu.Unlock()
+
+	type verdict struct {
+		t  *target
+		ok bool
+	}
+	results := make(chan verdict, len(snapshot))
+	for _, t := range snapshot {
+		go func(t *target) {
+			results <- verdict{t: t, ok: d.probe(t)}
+		}(t)
+	}
+	for range snapshot {
+		v := <-results
+		d.record(v.t, v.ok)
+	}
+}
+
+// probe pings one target, bounded by the configured timeout. The
+// target's cached connection is re-dialled lazily and dropped on any
+// fault, so a replaced or restarted server is re-reached next round.
+func (d *Detector) probe(t *target) bool {
+	d.reg.Counter("health.probes").Inc()
+	d.mu.Lock()
+	conn, addr := t.conn, t.addr
+	d.mu.Unlock()
+
+	type outcome struct {
+		resp any
+		err  error
+	}
+	res := make(chan outcome, 1)
+	go func() {
+		c := conn
+		if c == nil {
+			var err error
+			c, err = d.tr.Dial(addr)
+			if err != nil {
+				res <- outcome{err: err}
+				return
+			}
+		}
+		resp, err := c.Call(PingReq{From: d.from})
+		if err != nil {
+			c.Close()
+			c = nil
+		}
+		d.mu.Lock()
+		// Keep the connection only while the detector is live and the
+		// slot still points at the address we probed (SetAddr may have
+		// re-targeted it).
+		if !d.closed && t.addr == addr {
+			t.conn = c
+		} else if c != nil {
+			c.Close()
+		}
+		d.mu.Unlock()
+		res <- outcome{resp: resp, err: err}
+	}()
+
+	timer := time.NewTimer(d.cfg.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-res:
+		if o.err != nil {
+			return false
+		}
+		_, ok := o.resp.(PingResp)
+		return ok
+	case <-timer.C:
+		// The probe goroutine finishes on its own and parks the
+		// connection; this round counts as a miss.
+		return false
+	case <-d.stop:
+		return false
+	}
+}
+
+// record folds one probe outcome into the target's state, publishing
+// transitions.
+func (d *Detector) record(t *target, ok bool) {
+	d.mu.Lock()
+	if d.targets[t.id] != t {
+		d.mu.Unlock()
+		return // re-targeted mid-probe; verdict belongs to the old addr
+	}
+	var ev *Event
+	if ok {
+		if t.state != Alive {
+			if t.state == Dead {
+				d.reg.Counter("health.rejoins").Inc()
+			}
+			t.state = Alive
+			ev = &Event{Server: t.id, Addr: t.addr, State: Alive}
+		}
+		t.misses = 0
+	} else {
+		d.reg.Counter("health.misses").Inc()
+		t.misses++
+		switch {
+		case t.misses >= d.cfg.DeadAfter && t.state != Dead:
+			t.state = Dead
+			d.reg.Counter("health.deaths").Inc()
+			ev = &Event{Server: t.id, Addr: t.addr, State: Dead, Misses: t.misses}
+		case t.misses >= d.cfg.SuspectAfter && t.state == Alive:
+			t.state = Suspect
+			ev = &Event{Server: t.id, Addr: t.addr, State: Suspect, Misses: t.misses}
+		}
+	}
+	subs := d.subs
+	d.mu.Unlock()
+	if ev == nil {
+		return
+	}
+	for _, ch := range subs {
+		select {
+		case ch <- *ev:
+		default: // subscriber far behind; drop the oldest transition
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- *ev:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package health
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gospaces/internal/transport"
+)
+
+// pingHandler answers pings while alive.
+func pingHandler(id int, alive *atomic.Bool) transport.Handler {
+	return func(req any) (any, error) {
+		if _, ok := req.(PingReq); ok && alive.Load() {
+			return PingResp{ID: id}, nil
+		}
+		return nil, transport.ErrClosed
+	}
+}
+
+func fastConfig() Config {
+	return Config{Period: 5 * time.Millisecond, Timeout: 20 * time.Millisecond, SuspectAfter: 2, DeadAfter: 4}
+}
+
+func waitFor(t *testing.T, ch <-chan Event, want State, timeout time.Duration) Event {
+	t.Helper()
+	deadline := time.After(timeout)
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				t.Fatalf("event channel closed waiting for %v", want)
+			}
+			if ev.State == want {
+				return ev
+			}
+		case <-deadline:
+			t.Fatalf("no %v event within %v", want, timeout)
+		}
+	}
+}
+
+func TestDetectorDeathAndRejoin(t *testing.T) {
+	tr := transport.NewInProc()
+	var alive atomic.Bool
+	alive.Store(true)
+	closer, err := tr.Listen("srv/0", pingHandler(0, &alive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	d := NewDetector(tr, "test/0", fastConfig())
+	defer d.Close()
+	d.Watch(0, "srv/0")
+	events := d.Subscribe()
+	d.Start()
+
+	// Healthy server: no transitions, probes counted.
+	time.Sleep(40 * time.Millisecond)
+	select {
+	case ev := <-events:
+		t.Fatalf("healthy server produced %+v", ev)
+	default:
+	}
+	if d.Metrics().Counter("health.probes").Value() == 0 {
+		t.Fatal("no probes recorded")
+	}
+
+	// Kill it: Suspect then Dead, with the configured miss counts.
+	alive.Store(false)
+	ev := waitFor(t, events, Suspect, time.Second)
+	if ev.Server != 0 || ev.Misses < 2 {
+		t.Fatalf("suspect event %+v", ev)
+	}
+	ev = waitFor(t, events, Dead, time.Second)
+	if ev.Misses < 4 {
+		t.Fatalf("dead event %+v", ev)
+	}
+	if d.States()[0] != Dead {
+		t.Fatalf("state = %v", d.States()[0])
+	}
+	if d.Metrics().Counter("health.deaths").Value() != 1 {
+		t.Fatalf("deaths = %d", d.Metrics().Counter("health.deaths").Value())
+	}
+
+	// Revive it: the detector reports the rejoin.
+	alive.Store(true)
+	waitFor(t, events, Alive, time.Second)
+	if d.Metrics().Counter("health.rejoins").Value() != 1 {
+		t.Fatalf("rejoins = %d", d.Metrics().Counter("health.rejoins").Value())
+	}
+}
+
+func TestDetectorUnknownEndpointIsDead(t *testing.T) {
+	tr := transport.NewInProc()
+	d := NewDetector(tr, "test/0", fastConfig())
+	defer d.Close()
+	d.Watch(3, "srv/missing")
+	events := d.Subscribe()
+	d.Start()
+	ev := waitFor(t, events, Dead, time.Second)
+	if ev.Server != 3 {
+		t.Fatalf("dead event %+v", ev)
+	}
+}
+
+func TestDetectorSetAddrResetsVerdict(t *testing.T) {
+	tr := transport.NewInProc()
+	var alive atomic.Bool
+	alive.Store(true)
+	closer, err := tr.Listen("srv/new", pingHandler(7, &alive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+
+	d := NewDetector(tr, "test/0", fastConfig())
+	defer d.Close()
+	d.Watch(0, "srv/gone")
+	events := d.Subscribe()
+	d.Start()
+	waitFor(t, events, Dead, time.Second)
+
+	// Promote: the slot re-targets a healthy replacement and goes back
+	// to Alive without a rejoin event (fresh target, clean slate).
+	d.SetAddr(0, "srv/new")
+	time.Sleep(50 * time.Millisecond)
+	if got := d.States()[0]; got != Alive {
+		t.Fatalf("re-targeted slot state = %v", got)
+	}
+}
+
+func TestDetectorTimeoutCountsAsMiss(t *testing.T) {
+	tr := transport.NewInProc()
+	block := make(chan struct{})
+	closer, err := tr.Listen("srv/slow", func(req any) (any, error) {
+		<-block
+		return PingResp{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closer.Close()
+	defer close(block)
+
+	d := NewDetector(tr, "test/0", Config{Period: 5 * time.Millisecond, Timeout: 10 * time.Millisecond, SuspectAfter: 2, DeadAfter: 3})
+	defer d.Close()
+	d.Watch(0, "srv/slow")
+	events := d.Subscribe()
+	d.Start()
+	waitFor(t, events, Dead, time.Second)
+}
+
+func TestMembershipEpochsAndSubscribe(t *testing.T) {
+	m := NewMembership([]string{"a", "b", "c"})
+	if m.Epoch() != 1 {
+		t.Fatalf("initial epoch = %d", m.Epoch())
+	}
+	sub := m.Subscribe()
+	epoch, err := m.Replace(1, "b2")
+	if err != nil || epoch != 2 {
+		t.Fatalf("replace: epoch %d err %v", epoch, err)
+	}
+	if m.Addr(1) != "b2" || m.Addr(0) != "a" {
+		t.Fatalf("addrs = %v", m.Addrs())
+	}
+	select {
+	case ch := <-sub:
+		if ch.Epoch != 2 || ch.Server != 1 || ch.Addr != "b2" {
+			t.Fatalf("change = %+v", ch)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no membership change delivered")
+	}
+	if _, err := m.Replace(9, "x"); err == nil {
+		t.Fatal("out-of-range slot accepted")
+	}
+	addrs, epoch := m.Snapshot()
+	if len(addrs) != 3 || epoch != 2 {
+		t.Fatalf("snapshot = %v, %d", addrs, epoch)
+	}
+	if m.Addr(9) != "" {
+		t.Fatal("out-of-range addr not empty")
+	}
+}
+
+func TestDetectorCloseIsPromptAndIdempotent(t *testing.T) {
+	tr := transport.NewInProc()
+	d := NewDetector(tr, "test/0", fastConfig())
+	d.Watch(0, "srv/missing")
+	events := d.Subscribe()
+	d.Start()
+	done := make(chan struct{})
+	go func() {
+		d.Close()
+		d.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close did not return")
+	}
+	// Subscriber channel is closed after Close.
+	for {
+		if _, ok := <-events; !ok {
+			return
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package health
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Change is one membership transition: slot ID re-pointed to Addr at
+// the (freshly bumped) Epoch.
+type Change struct {
+	Epoch  uint64
+	Server int
+	Addr   string
+}
+
+// Membership is the epoch-stamped staging server set. Exactly one
+// writer — the recovery supervisor — bumps it; clients and the staging
+// pool read it to stamp calls and re-bind connections. Epochs start at
+// 1 and grow by one per confirmed death or re-join, so a client whose
+// stamped epoch trails the servers' is provably routing on a stale
+// view.
+type Membership struct {
+	mu    sync.Mutex
+	epoch uint64
+	addrs []string
+	subs  []chan Change
+}
+
+// NewMembership creates epoch 1 over the given addresses in slot
+// order.
+func NewMembership(addrs []string) *Membership {
+	return &Membership{epoch: 1, addrs: append([]string(nil), addrs...)}
+}
+
+// Epoch returns the current epoch.
+func (m *Membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Addrs returns the current server addresses in slot order.
+func (m *Membership) Addrs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.addrs...)
+}
+
+// Addr returns the address of slot id ("" when out of range).
+func (m *Membership) Addr(id int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if id < 0 || id >= len(m.addrs) {
+		return ""
+	}
+	return m.addrs[id]
+}
+
+// Snapshot returns the addresses and epoch atomically.
+func (m *Membership) Snapshot() ([]string, uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.addrs...), m.epoch
+}
+
+// Replace points slot id at a new address and bumps the epoch,
+// notifying subscribers. It returns the new epoch.
+func (m *Membership) Replace(id int, addr string) (uint64, error) {
+	m.mu.Lock()
+	if id < 0 || id >= len(m.addrs) {
+		m.mu.Unlock()
+		return 0, fmt.Errorf("health: no membership slot %d", id)
+	}
+	m.addrs[id] = addr
+	m.epoch++
+	ev := Change{Epoch: m.epoch, Server: id, Addr: addr}
+	subs := append([]chan Change(nil), m.subs...)
+	m.mu.Unlock()
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // slow subscriber: drop the oldest change
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- ev:
+			default:
+			}
+		}
+	}
+	return ev.Epoch, nil
+}
+
+// Subscribe returns a buffered channel of membership changes. The
+// channel is never closed; a subscriber that stops reading loses the
+// oldest changes but can always resynchronize via Snapshot.
+func (m *Membership) Subscribe() <-chan Change {
+	ch := make(chan Change, 16)
+	m.mu.Lock()
+	m.subs = append(m.subs, ch)
+	m.mu.Unlock()
+	return ch
+}

@@ -178,6 +178,14 @@ func (c *Comm) Revoke() {
 	c.mu.Lock()
 	c.cond.Broadcast()
 	c.mu.Unlock()
+	// Recv waits on the receiving process's cond, not the
+	// communicator's; wake the members so point-to-point waiters
+	// observe the revocation too.
+	for _, m := range c.members {
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}
 }
 
 // checkAlive returns an error when the caller is dead or the comm is

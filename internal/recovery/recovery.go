@@ -1,0 +1,346 @@
+// Package recovery implements the staging-server fail-stop recovery
+// supervisor: it subscribes to liveness verdicts from a health.Detector
+// and, on a confirmed death, promotes a warm spare into the dead slot,
+// bumps the membership epoch, pushes the new view to every member, and
+// re-protects the CoREC-redundant objects whose shards died with the
+// server.
+//
+// The design assumes at most one supervisor per staging group (the
+// membership has exactly one writer); running two would race promotions
+// and double-spend spares. The supervisor never touches object or log
+// state directly — re-protection goes through the same client-driven
+// shard RPCs the CoREC layer always uses, so it composes with any
+// transport.
+package recovery
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"gospaces/internal/corec"
+	"gospaces/internal/health"
+	"gospaces/internal/metrics"
+	"gospaces/internal/staging"
+	"gospaces/internal/transport"
+)
+
+// SparePool hands out addresses of warm spare servers; staging.Group
+// implements it. TakeSpare returns ok=false when the pool is dry.
+type SparePool interface {
+	TakeSpare() (addr string, ok bool)
+}
+
+// Config tunes the supervisor.
+type Config struct {
+	// Redundancy is the CoREC geometry of the shards to re-protect after
+	// a promotion. Nil disables re-protection: the supervisor only
+	// promotes and re-registers membership.
+	Redundancy *corec.Config
+	// RebuildParallel bounds concurrent key rebuilds (default 4).
+	RebuildParallel int
+	// OnPromote, if set, runs after each promotion with the slot, the
+	// replacement address, and the new epoch — the hook a workflow uses
+	// to update its client-side staging pool.
+	OnPromote func(slot int, addr string, epoch uint64)
+}
+
+func (c Config) withDefaults() Config {
+	if c.RebuildParallel <= 0 {
+		c.RebuildParallel = 4
+	}
+	return c
+}
+
+// Supervisor drives fail-stop recovery for one staging group.
+type Supervisor struct {
+	tr     transport.Transport
+	det    *health.Detector
+	mem    *health.Membership
+	spares SparePool
+	cfg    Config
+	reg    *metrics.Registry
+
+	events <-chan health.Event
+	stop   chan struct{}
+	done   chan struct{}
+
+	mu      sync.Mutex
+	started bool
+}
+
+// New wires a supervisor over a running detector and membership. It
+// arms the detector to watch every current member; call Start to begin
+// supervising. The detector should not be started yet (Start does it).
+func New(tr transport.Transport, det *health.Detector, mem *health.Membership, spares SparePool, cfg Config) *Supervisor {
+	s := &Supervisor{
+		tr:     tr,
+		det:    det,
+		mem:    mem,
+		spares: spares,
+		cfg:    cfg.withDefaults(),
+		reg:    metrics.NewRegistry(),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	for id, addr := range mem.Addrs() {
+		det.Watch(id, addr)
+	}
+	s.events = det.Subscribe()
+	return s
+}
+
+// Metrics returns the registry recording recovery.promotions,
+// recovery.rebuilds, recovery.rebuild_bytes, recovery.failed_rebuilds,
+// recovery.duration_ns, and recovery.no_spare.
+func (s *Supervisor) Metrics() *metrics.Registry { return s.reg }
+
+// Start launches the detector and the supervision loop. It is a no-op
+// when already started.
+func (s *Supervisor) Start() {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return
+	}
+	s.started = true
+	s.mu.Unlock()
+	s.det.Start()
+	go s.loop()
+}
+
+// Close stops supervising (the detector is closed too).
+func (s *Supervisor) Close() error {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+	s.det.Close() // closes the event channel, unblocking the loop
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+	return nil
+}
+
+// WaitIdle blocks until every membership slot has been Alive — with no
+// recovery in flight — for a full detection window, or the timeout
+// expires. Requiring a quiet window rather than an instantaneous check
+// closes the race where a server just died but the detector has not
+// yet missed a probe. A workflow calls WaitIdle before re-binding
+// clients so promoted addresses are in place.
+func (s *Supervisor) WaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	quiet := s.det.Window()
+	var quietSince time.Time
+	for {
+		if s.reg.Counter("recovery.in_flight").Value() == 0 && s.allAlive() {
+			if quietSince.IsZero() {
+				quietSince = time.Now()
+			} else if time.Since(quietSince) >= quiet {
+				return nil
+			}
+		} else {
+			quietSince = time.Time{}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("recovery: not idle after %v (states %v)", timeout, s.det.States())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func (s *Supervisor) allAlive() bool {
+	for _, st := range s.det.States() {
+		if st != health.Alive {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Supervisor) loop() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case ev, ok := <-s.events:
+			if !ok {
+				return
+			}
+			if ev.State == health.Dead {
+				s.reg.Counter("recovery.in_flight").Inc()
+				s.recover(ev)
+				s.reg.Counter("recovery.in_flight").Add(-1)
+			}
+		}
+	}
+}
+
+// recover runs the promote-and-re-protect sequence for one confirmed
+// death: spare → membership bump → view push → re-target detector →
+// client hook → shard re-protection.
+func (s *Supervisor) recover(ev health.Event) {
+	start := time.Now()
+	addr, ok := s.spares.TakeSpare()
+	if !ok {
+		// No spare: the slot stays dead. A later AddSpare plus a repeated
+		// Dead verdict cannot occur (Dead fires once); operators must
+		// restart a server at the old address instead (rejoin).
+		s.reg.Counter("recovery.no_spare").Inc()
+		return
+	}
+	epoch, err := s.mem.Replace(ev.Server, addr)
+	if err != nil {
+		s.reg.Counter("recovery.failed_promotions").Inc()
+		return
+	}
+	s.reg.Counter("recovery.promotions").Inc()
+	addrs := s.mem.Addrs()
+	s.pushView(epoch, addrs)
+	s.det.SetAddr(ev.Server, addr)
+	if s.cfg.OnPromote != nil {
+		s.cfg.OnPromote(ev.Server, addr, epoch)
+	}
+	if s.cfg.Redundancy != nil {
+		s.reprotect(addrs)
+	}
+	s.reg.Counter("recovery.duration_ns").Add(time.Since(start).Nanoseconds())
+}
+
+// pushView installs the new membership on every member, including the
+// promoted spare (which clears its spare flag). Unreachable members are
+// skipped; they adopt the view on rejoin via their own MembershipReq
+// exchange or the next push.
+func (s *Supervisor) pushView(epoch uint64, addrs []string) {
+	for _, addr := range addrs {
+		conn, err := s.tr.Dial(addr)
+		if err != nil {
+			continue
+		}
+		conn.Call(staging.EpochSetReq{Epoch: epoch, Addrs: addrs})
+		conn.Close()
+	}
+}
+
+// reprotectAttempts bounds the re-protection retry loop: a rebuild can
+// fail while another member is transiently dark (crashed, partitioned),
+// so the supervisor waits out a detection window and tries again rather
+// than leaving redundancy degraded.
+const reprotectAttempts = 5
+
+// reprotect restores full redundancy, retrying with a detection-window
+// backoff until a pass completes with every key rebuilt (or the
+// attempt budget runs out).
+func (s *Supervisor) reprotect(addrs []string) {
+	for attempt := 0; attempt < reprotectAttempts; attempt++ {
+		if s.reprotectOnce(addrs) {
+			return
+		}
+		select {
+		case <-s.stop:
+			return
+		case <-time.After(s.det.Window()):
+		}
+		// Another promotion may have moved the membership meanwhile.
+		addrs = s.mem.Addrs()
+	}
+}
+
+// reprotectOnce runs one re-protection pass: union the shard keys held
+// by reachable members, rebuild each with bounded parallelism. Rebuild
+// reads any K surviving shards and re-writes only the missing ones, so
+// keys untouched by the failure cost one round of reads. It reports
+// whether the pass fully restored redundancy.
+func (s *Supervisor) reprotectOnce(addrs []string) bool {
+	clean := true
+	conns := make([]transport.Client, len(addrs))
+	for i, addr := range addrs {
+		conn, err := s.tr.Dial(addr)
+		if err != nil {
+			// A member is dark; its shards read as lost and its writes
+			// fail. Proceed degraded and retry for the remainder.
+			conns[i] = deadClient{}
+			clean = false
+			continue
+		}
+		conns[i] = conn
+	}
+	defer closeAll(conns)
+
+	seen := map[string]struct{}{}
+	var keys []string
+	for _, conn := range conns {
+		raw, err := conn.Call(staging.ShardKeysReq{})
+		if err != nil {
+			continue // dead or lagging member; survivors cover its keys
+		}
+		resp, ok := raw.(staging.ShardKeysResp)
+		if !ok {
+			continue
+		}
+		for _, k := range resp.Keys {
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				keys = append(keys, k)
+			}
+		}
+	}
+	if len(keys) == 0 {
+		return clean
+	}
+	rc, err := corec.New(*s.cfg.Redundancy, conns)
+	if err != nil {
+		s.reg.Counter("recovery.failed_rebuilds").Add(int64(len(keys)))
+		return false
+	}
+	sem := make(chan struct{}, s.cfg.RebuildParallel)
+	type result struct {
+		bytes int64
+		ok    bool
+	}
+	results := make(chan result, len(keys))
+	for _, key := range keys {
+		go func(key string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			n, err := rc.Rebuild(key)
+			if err != nil {
+				s.reg.Counter("recovery.failed_rebuilds").Inc()
+			}
+			results <- result{bytes: n, ok: err == nil}
+		}(key)
+	}
+	for range keys {
+		r := <-results
+		if r.bytes > 0 {
+			s.reg.Counter("recovery.rebuilds").Inc()
+			s.reg.Counter("recovery.rebuild_bytes").Add(r.bytes)
+		}
+		if !r.ok {
+			clean = false
+		}
+	}
+	return clean
+}
+
+// deadClient stands in for a member that cannot be dialled during a
+// re-protection pass; every call fails like the dead server would.
+type deadClient struct{}
+
+func (deadClient) Call(any) (any, error) {
+	return nil, fmt.Errorf("%w: member dark during re-protection", transport.ErrNoEndpoint)
+}
+func (deadClient) Close() error { return nil }
+
+func closeAll(conns []transport.Client) {
+	for _, c := range conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

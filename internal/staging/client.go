@@ -62,12 +62,20 @@ type Config struct {
 }
 
 // Pool is a client-side view of a staging group: the spatial index plus
-// the server addresses.
+// the epoch-stamped server addresses. The address set is mutable — the
+// recovery supervisor re-points a slot at a promoted spare via
+// SetMember, and clients that hit a StaleEpochError adopt the servers'
+// newer view — so all access goes through the mutex.
 type Pool struct {
 	cfg   Config
 	index *dht.Index
 	tr    transport.Transport
+
+	// mu guards the membership view: the slot addresses and the epoch
+	// clients stamp their calls with.
+	mu    sync.Mutex
 	addrs []string
+	epoch uint64
 
 	// cellMu guards cells, a lazily built cache of the sub-boxes each
 	// server owns; the pool is shared by all of a component's clients.
@@ -93,12 +101,52 @@ func NewPool(tr transport.Transport, addrs []string, cfg Config) (*Pool, error) 
 		index: idx,
 		tr:    tr,
 		addrs: append([]string(nil), addrs...),
+		epoch: 1,
 		cells: make([][]domain.BBox, cfg.NServers),
 	}, nil
 }
 
 // Config returns the pool configuration.
 func (p *Pool) Config() Config { return p.cfg }
+
+// Epoch returns the membership epoch clients stamp their calls with.
+func (p *Pool) Epoch() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.epoch
+}
+
+// Addrs returns the current slot addresses.
+func (p *Pool) Addrs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.addrs...)
+}
+
+// SetMember points slot id at a new address under a bumped epoch; the
+// recovery supervisor calls it after promoting a spare. Older epochs
+// are ignored.
+func (p *Pool) SetMember(id int, addr string, epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch < p.epoch || id < 0 || id >= len(p.addrs) {
+		return
+	}
+	p.addrs[id] = addr
+	p.epoch = epoch
+}
+
+// adopt replaces the whole membership view when the servers hold a
+// newer epoch (the client-side half of a stale-epoch redirect).
+func (p *Pool) adopt(addrs []string, epoch uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch <= p.epoch || len(addrs) != len(p.addrs) {
+		return
+	}
+	p.addrs = append([]string(nil), addrs...)
+	p.epoch = epoch
+}
 
 // serverCells returns (cached) the sub-boxes owned by server s.
 func (p *Pool) serverCells(s int) []domain.BBox {
@@ -117,6 +165,9 @@ type Client struct {
 	app   string
 	pool  *Pool
 	conns []transport.Client
+	// addrs records the address each conn was dialled to, so a rebind
+	// after a stale-epoch redirect only re-dials the slots that moved.
+	addrs []string
 	// lockSeq numbers this rank's lock operations so the lock server can
 	// deduplicate retried requests (the client is per-rank and serial,
 	// so a plain counter suffices).
@@ -128,14 +179,20 @@ type Client struct {
 
 // NewClient connects rank identity app (e.g. "sim/12") to the group.
 func (p *Pool) NewClient(app string) (*Client, error) {
-	c := &Client{app: app, pool: p, conns: make([]transport.Client, p.cfg.NServers)}
-	for i, addr := range p.addrs {
+	c := &Client{
+		app:   app,
+		pool:  p,
+		conns: make([]transport.Client, p.cfg.NServers),
+		addrs: make([]string, p.cfg.NServers),
+	}
+	for i, addr := range p.Addrs() {
 		conn, err := p.tr.Dial(addr)
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("staging: dial server %d: %w", i, err)
 		}
 		c.conns[i] = conn
+		c.addrs[i] = addr
 	}
 	return c, nil
 }
@@ -157,10 +214,11 @@ func (c *Client) Close() error {
 	return first
 }
 
-// Reconnect re-dials all servers; workflow_restart uses it to rebuild
-// the staging client after a component recovers (paper §III-C).
+// Reconnect re-dials all servers at the pool's current addresses;
+// workflow_restart uses it to rebuild the staging client after a
+// component recovers (paper §III-C).
 func (c *Client) Reconnect() error {
-	for i, addr := range c.pool.addrs {
+	for i, addr := range c.pool.Addrs() {
 		if c.conns[i] != nil {
 			c.conns[i].Close()
 		}
@@ -169,6 +227,70 @@ func (c *Client) Reconnect() error {
 			return fmt.Errorf("staging: re-dial server %d: %w", i, err)
 		}
 		c.conns[i] = conn
+		c.addrs[i] = addr
+	}
+	return nil
+}
+
+// call sends one epoch-stamped request to server s. On a stale-epoch
+// redirect — and on transport faults that outlived the retry layer,
+// which is what calling a fail-stopped slot looks like — it re-binds
+// (adopts the servers' newer membership, re-dials the slots that
+// moved) and retries once. A second redirect (a promotion raced the
+// retry) surfaces to the caller.
+func (c *Client) call(s int, req any) (any, error) {
+	raw, err := c.conns[s].Call(EpochReq{Epoch: c.pool.Epoch(), Req: req})
+	if err == nil {
+		return raw, nil
+	}
+	stale := IsStaleEpoch(err)
+	if !stale && !transport.Retryable(err) {
+		return raw, err
+	}
+	if rerr := c.rebind(); rerr != nil {
+		if stale {
+			return nil, rerr
+		}
+		// Transient fault and no newer membership view: the original
+		// error says more than the failed rebind.
+		return raw, err
+	}
+	return c.conns[s].Call(EpochReq{Epoch: c.pool.Epoch(), Req: req})
+}
+
+// rebind refreshes the membership view from any reachable server and
+// re-dials the connections whose slot address changed.
+func (c *Client) rebind() error {
+	var view MembershipResp
+	got := false
+	for s := range c.conns {
+		raw, err := c.conns[s].Call(MembershipReq{})
+		if err != nil {
+			continue
+		}
+		if m, ok := raw.(MembershipResp); ok && m.Epoch > 0 && len(m.Addrs) == len(c.conns) {
+			view = m
+			got = true
+			break
+		}
+	}
+	if !got {
+		return fmt.Errorf("%w: rebind: no server returned a membership view", ErrDegraded)
+	}
+	c.pool.adopt(view.Addrs, view.Epoch)
+	for i, addr := range c.pool.Addrs() {
+		if c.addrs[i] == addr && c.conns[i] != nil {
+			continue
+		}
+		if c.conns[i] != nil {
+			c.conns[i].Close()
+		}
+		conn, err := c.pool.tr.Dial(addr)
+		if err != nil {
+			return wrapCall(err, "rebind: re-dial server %d", i)
+		}
+		c.conns[i] = conn
+		c.addrs[i] = addr
 	}
 	return nil
 }
@@ -198,7 +320,7 @@ func (c *Client) put(name string, version int64, bbox domain.BBox, data []byte, 
 				App: c.app, Name: name, Version: version,
 				ElemSize: c.pool.cfg.ElemSize, Piece: piece, Logged: logged,
 			}
-			if _, err := c.conns[s].Call(req); err != nil {
+			if _, err := c.call(s, req); err != nil {
 				return wrapCall(err, "put %q v%d to server %d", name, version, s)
 			}
 		}
@@ -213,7 +335,7 @@ func (c *Client) get(name string, version int64, bbox domain.BBox, logged bool) 
 	var covered int64
 	for _, s := range c.pool.index.ServersFor(bbox) {
 		req := GetReq{App: c.app, Name: name, Version: version, BBox: bbox, Logged: logged}
-		raw, err := c.conns[s].Call(req)
+		raw, err := c.call(s, req)
 		if err != nil {
 			return nil, 0, wrapCall(err, "get %q v%d from server %d", name, version, s)
 		}
@@ -279,8 +401,8 @@ func (c *Client) GetWithLog(name string, version int64, bbox domain.BBox) ([]byt
 // position is a no-op.
 func (c *Client) WorkflowCheck() (int64, error) {
 	var freed int64
-	for s, conn := range c.conns {
-		raw, err := conn.Call(CheckpointReq{App: c.app})
+	for s := range c.conns {
+		raw, err := c.call(s, CheckpointReq{App: c.app})
 		if err != nil {
 			return freed, wrapCall(err, "checkpoint on server %d", s)
 		}
@@ -308,8 +430,8 @@ func (c *Client) WorkflowRestart() (int, error) {
 		return 0, err
 	}
 	total := 0
-	for s, conn := range c.conns {
-		raw, err := conn.Call(RecoveryReq{App: c.app})
+	for s := range c.conns {
+		raw, err := c.call(s, RecoveryReq{App: c.app})
 		if err != nil {
 			return total, wrapCall(err, "recovery on server %d", s)
 		}
@@ -325,8 +447,8 @@ func (c *Client) WorkflowRestart() (int, error) {
 // Versions returns the union of staged versions of name across servers.
 func (c *Client) Versions(name string) ([]int64, error) {
 	seen := map[int64]struct{}{}
-	for s, conn := range c.conns {
-		raw, err := conn.Call(QueryReq{Name: name})
+	for s := range c.conns {
+		raw, err := c.call(s, QueryReq{Name: name})
 		if err != nil {
 			return nil, wrapCall(err, "query on server %d", s)
 		}
@@ -368,6 +490,11 @@ func (c *Client) Stats() (StatsResp, error) {
 		agg.ReplayGets += st.ReplayGets
 		agg.GCFreedBytes += st.GCFreedBytes
 		agg.PutNanos += st.PutNanos
+		agg.RebuiltShards += st.RebuiltShards
+		agg.RebuiltBytes += st.RebuiltBytes
+		if st.Epoch > agg.Epoch {
+			agg.Epoch = st.Epoch
+		}
 	}
 	return agg, nil
 }
@@ -398,7 +525,7 @@ const lockServer = 0
 func (c *Client) lockOp(name string, write, release bool) error {
 	c.lockSeq++
 	req := LockReq{Name: name, Holder: c.app, Write: write, Release: release, Seq: c.lockSeq}
-	if _, err := c.conns[lockServer].Call(req); err != nil {
+	if _, err := c.call(lockServer, req); err != nil {
 		op := "lock"
 		if release {
 			op = "unlock"

@@ -1,0 +1,41 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// staleEpochMark is the substring that identifies a stale-epoch
+// rejection across transports: the TCP transport flattens handler
+// errors to strings (transport.RemoteError), so the typed check alone
+// cannot recognize a redirect from a remote server.
+const staleEpochMark = "staging: stale membership epoch"
+
+// StaleEpochError rejects a call stamped with a membership epoch older
+// than the server's: the client is routing on a superseded server set
+// and must re-bind (fetch the current membership, re-dial changed
+// slots) before retrying.
+type StaleEpochError struct {
+	Client uint64 // epoch the call was stamped with
+	Server uint64 // epoch the server holds
+}
+
+// Error renders the rejection; it embeds staleEpochMark so IsStaleEpoch
+// works on the flattened string form too.
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("%s: client at %d, server at %d", staleEpochMark, e.Client, e.Server)
+}
+
+// IsStaleEpoch reports whether err is a stale-epoch redirect, in typed
+// form (in-proc) or flattened through a remote transport.
+func IsStaleEpoch(err error) bool {
+	if err == nil {
+		return false
+	}
+	var se *StaleEpochError
+	if errors.As(err, &se) {
+		return true
+	}
+	return strings.Contains(err.Error(), staleEpochMark)
+}

@@ -4,24 +4,41 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
+	"gospaces/internal/health"
 	"gospaces/internal/transport"
 )
 
 // Group is a running set of staging servers plus the Pool clients use
-// to reach them.
+// to reach them, an epoch-stamped Membership naming the live server
+// set, and an optional pool of warm spares the recovery supervisor can
+// promote after a fail-stop.
 type Group struct {
 	*Pool
-	tr      transport.Transport
+	tr         transport.Transport
+	prefix     string
+	membership *health.Membership
+
+	mu      sync.Mutex
 	addrs   []string
 	servers []*Server
 	closers []io.Closer
+	spares  []spareEntry
+}
+
+// spareEntry is one warm spare: a running, empty server outside the
+// membership, listening and answering pings until promoted.
+type spareEntry struct {
+	srv    *Server
+	addr   string
+	closer io.Closer
 }
 
 // StartGroup launches cfg.NServers staging servers on tr at addresses
 // "<prefix>/<id>" and returns the group handle.
 func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, error) {
-	g := &Group{tr: tr, servers: make([]*Server, cfg.NServers), closers: make([]io.Closer, cfg.NServers)}
+	g := &Group{tr: tr, prefix: prefix, servers: make([]*Server, cfg.NServers), closers: make([]io.Closer, cfg.NServers)}
 	addrs := make([]string, cfg.NServers)
 	for i := 0; i < cfg.NServers; i++ {
 		srv := NewServer(i)
@@ -52,8 +69,96 @@ func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, erro
 		return nil, err
 	}
 	g.Pool = pool
+	g.membership = health.NewMembership(addrs)
+	// Seed every member with the initial view so epoch-stamped calls
+	// (epoch 1) pass and MembershipReq answers are useful from the start.
+	for _, srv := range g.servers {
+		srv.SetMembership(1, addrs)
+	}
 	return g, nil
 }
+
+// Membership returns the group's epoch-stamped server set. Exactly one
+// writer — the recovery supervisor — should bump it.
+func (g *Group) Membership() *health.Membership { return g.membership }
+
+// AddSpare starts a warm spare server outside the membership: running
+// and answering pings at "<prefix>/spare/<n>", but holding no data and
+// receiving no client traffic until the recovery supervisor promotes
+// it. It returns the spare's address.
+func (g *Group) AddSpare() (string, error) {
+	g.mu.Lock()
+	n := len(g.spares)
+	id := len(g.servers) + n // spare keeps its own id; slots are bound by address
+	g.mu.Unlock()
+	srv := NewServer(id)
+	srv.SetSpare(true)
+	srv.SetMemoryBudget(g.Pool.cfg.MemoryBudgetPerServer)
+	addr := fmt.Sprintf("%s/spare/%d", g.prefix, n)
+	if strings.Contains(g.prefix, ":") {
+		addr = g.prefix
+	}
+	closer, err := g.tr.Listen(addr, srv.Handle)
+	if err != nil {
+		return "", fmt.Errorf("staging: start spare %d: %w", n, err)
+	}
+	if a, ok := closer.(interface{ Addr() string }); ok {
+		addr = a.Addr()
+	}
+	g.mu.Lock()
+	g.spares = append(g.spares, spareEntry{srv: srv, addr: addr, closer: closer})
+	g.mu.Unlock()
+	return addr, nil
+}
+
+// TakeSpare pops the next warm spare for promotion, returning its
+// address. It is the recovery.SparePool the supervisor draws from.
+func (g *Group) TakeSpare() (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if len(g.spares) == 0 {
+		return "", false
+	}
+	e := g.spares[0]
+	g.spares = g.spares[1:]
+	// The spare stays tracked for inspection and Close; its listener now
+	// serves member traffic.
+	g.servers = append(g.servers, e.srv)
+	g.closers = append(g.closers, e.closer)
+	g.addrs = append(g.addrs, e.addr)
+	return e.addr, true
+}
+
+// Spares returns the addresses of the remaining unpromoted spares.
+func (g *Group) Spares() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]string, len(g.spares))
+	for i, e := range g.spares {
+		out[i] = e.addr
+	}
+	return out
+}
+
+// FailStop permanently kills server id: its listener closes, so every
+// call and dial to its address fails, and its object, log, and shard
+// state is unreachable for good — the real fail-stop the recovery
+// supervisor exists to repair (unlike ReplaceServer, nothing comes back
+// at the old address).
+func (g *Group) FailStop(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if id < 0 || id >= len(g.closers) {
+		return fmt.Errorf("staging: no server %d", id)
+	}
+	err := g.closers[id].Close()
+	g.closers[id] = nopCloser{} // Close must not re-close the dead listener
+	return err
+}
+
+type nopCloser struct{}
+
+func (nopCloser) Close() error { return nil }
 
 // ReplaceServer simulates losing staging server id and bringing up an
 // empty replacement at the same address: all object, log, and shard
@@ -62,6 +167,8 @@ func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, erro
 // (internal/corec) is recoverable with Rebuild, and object data is
 // recoverable from producers via the crash-consistency protocol.
 func (g *Group) ReplaceServer(id int) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if id < 0 || id >= len(g.servers) {
 		return fmt.Errorf("staging: no server %d", id)
 	}
@@ -79,16 +186,51 @@ func (g *Group) ReplaceServer(id int) error {
 }
 
 // Server returns the id-th server (for in-proc inspection in tests).
-func (g *Group) Server(id int) *Server { return g.servers[id] }
+// Promoted spares append after the original members in promotion order.
+func (g *Group) Server(id int) *Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.servers[id]
+}
 
-// Addrs returns the servers' bound addresses in id order (the chaos
-// transport targets faults by address).
-func (g *Group) Addrs() []string { return append([]string(nil), g.addrs...) }
+// ServerAt returns the server currently listening at addr (nil if
+// none) — the way tests inspect a promoted spare by its membership
+// slot address.
+func (g *Group) ServerAt(addr string) *Server {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i, a := range g.addrs {
+		if a == addr {
+			return g.servers[i]
+		}
+	}
+	for _, e := range g.spares {
+		if e.addr == addr {
+			return e.srv
+		}
+	}
+	return nil
+}
 
-// Close stops all servers.
+// Addrs returns the servers' original bound addresses in id order (the
+// chaos transport targets faults by address); the Pool holds the
+// post-promotion view.
+func (g *Group) Addrs() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.addrs...)
+}
+
+// Close stops all servers, including unpromoted spares.
 func (g *Group) Close() error {
+	g.mu.Lock()
+	closers := append([]io.Closer(nil), g.closers...)
+	for _, e := range g.spares {
+		closers = append(closers, e.closer)
+	}
+	g.mu.Unlock()
 	var first error
-	for _, c := range g.closers {
+	for _, c := range closers {
 		if err := c.Close(); err != nil && first == nil {
 			first = err
 		}

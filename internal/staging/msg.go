@@ -96,6 +96,10 @@ type ShardPutReq struct {
 	Key   string
 	Shard int
 	Data  []byte
+	// Rebuild marks a shard re-written by the recovery supervisor's
+	// re-protection pass (as opposed to first-time protection); servers
+	// count rebuilt shards and bytes separately for recovery accounting.
+	Rebuild bool
 }
 
 // ShardPutResp acknowledges a shard write.
@@ -120,6 +124,55 @@ type ShardDropReq struct {
 
 // ShardDropResp acknowledges the drop.
 type ShardDropResp struct{}
+
+// ShardKeysReq asks a server which keys it holds shards for. The
+// recovery supervisor unions the answers across surviving servers to
+// enumerate the objects needing re-protection after a fail-stop.
+type ShardKeysReq struct{}
+
+// ShardKeysResp lists the shard keys resident on this server, sorted.
+type ShardKeysResp struct {
+	Keys []string
+}
+
+// EpochReq is the membership-epoch envelope: it wraps any staging
+// request with the client's view of the membership epoch. A server
+// whose epoch is newer rejects the call with StaleEpochError so the
+// client re-binds to the current membership before retrying — a client
+// routing on a stale view could read from (or write to) a promoted
+// spare's predecessor. Bare (unwrapped) requests bypass the check for
+// backward compatibility and for layers that place data explicitly.
+type EpochReq struct {
+	Epoch uint64
+	Req   any
+}
+
+// EpochSetReq installs a membership view on a server. The recovery
+// supervisor pushes it to every member after a promotion; a server only
+// adopts views newer than the one it holds. Receiving a view also
+// clears the server's spare flag: a spare that is told about membership
+// has been promoted into it.
+type EpochSetReq struct {
+	Epoch uint64
+	Addrs []string
+}
+
+// EpochSetResp acknowledges the install and reports the epoch the
+// server now holds (useful when the push raced a newer one).
+type EpochSetResp struct {
+	Epoch uint64
+}
+
+// MembershipReq asks a server for its current membership view; clients
+// use it to re-bind after a StaleEpochError redirect.
+type MembershipReq struct{}
+
+// MembershipResp carries the server's membership view (Epoch 0 and nil
+// Addrs until the first EpochSet).
+type MembershipResp struct {
+	Epoch uint64
+	Addrs []string
+}
 
 // LockReq acquires or releases a named reader/writer lock hosted by
 // server 0 of the group (dspaces_lock_on_read/write).
@@ -167,6 +220,12 @@ type StatsResp struct {
 	ReplayGets     int64
 	GCFreedBytes   int64
 	PutNanos       int64 // cumulative server-side put handling time
+	// Recovery accounting: shards and bytes re-written by the recovery
+	// supervisor's re-protection pass, and the membership epoch the
+	// server holds (dsctl health surfaces these).
+	RebuiltShards int64
+	RebuiltBytes  int64
+	Epoch         uint64
 }
 
 func init() {
@@ -186,6 +245,13 @@ func init() {
 	gob.Register(ShardGetResp{})
 	gob.Register(ShardDropReq{})
 	gob.Register(ShardDropResp{})
+	gob.Register(ShardKeysReq{})
+	gob.Register(ShardKeysResp{})
+	gob.Register(EpochReq{})
+	gob.Register(EpochSetReq{})
+	gob.Register(EpochSetResp{})
+	gob.Register(MembershipReq{})
+	gob.Register(MembershipResp{})
 	gob.Register(LockReq{})
 	gob.Register(LockResp{})
 	gob.Register(TraceReq{})

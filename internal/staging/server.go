@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"gospaces/internal/domain"
+	"gospaces/internal/health"
 	"gospaces/internal/locks"
 	"gospaces/internal/metrics"
 	"gospaces/internal/store"
@@ -45,6 +46,14 @@ type Server struct {
 	mu         sync.Mutex
 	shards     map[string]map[int][]byte
 	shardBytes int64
+
+	// memberMu guards the server's membership view: the epoch it has
+	// been told about (0 until the first EpochSet), the member
+	// addresses, and whether it is still a spare outside the membership.
+	memberMu    sync.Mutex
+	epoch       uint64
+	memberAddrs []string
+	spare       bool
 }
 
 // lockAttempt records the latest lock RPC admitted for one holder. Lock
@@ -86,10 +95,62 @@ func (s *Server) ID() int { return s.id }
 // the cap).
 func (s *Server) SetMemoryBudget(n int64) { s.budget = n }
 
+// SetSpare marks the server as a spare waiting outside the membership
+// (stagingd --spare). Promotion clears it via EpochSetReq.
+func (s *Server) SetSpare(v bool) {
+	s.memberMu.Lock()
+	s.spare = v
+	s.memberMu.Unlock()
+}
+
+// SetMembership installs a membership view directly (the in-proc
+// equivalent of an EpochSetReq push); older views are ignored.
+func (s *Server) SetMembership(epoch uint64, addrs []string) {
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+	if epoch < s.epoch {
+		return
+	}
+	s.epoch = epoch
+	s.memberAddrs = append([]string(nil), addrs...)
+	s.spare = false
+}
+
+// Epoch returns the membership epoch the server currently holds.
+func (s *Server) Epoch() uint64 {
+	s.memberMu.Lock()
+	defer s.memberMu.Unlock()
+	return s.epoch
+}
+
 // Handle serves one staging protocol request; it is the
 // transport.Handler for this server.
 func (s *Server) Handle(req any) (any, error) {
 	switch r := req.(type) {
+	case EpochReq:
+		// Membership-epoch envelope: reject calls stamped with a stale
+		// view so the client re-binds instead of routing to dead slots.
+		s.memberMu.Lock()
+		epoch := s.epoch
+		s.memberMu.Unlock()
+		if r.Epoch < epoch {
+			s.reg.Counter("stale_epoch_rejects").Inc()
+			return nil, &StaleEpochError{Client: r.Epoch, Server: epoch}
+		}
+		return s.Handle(r.Req)
+	case health.PingReq:
+		s.memberMu.Lock()
+		resp := health.PingResp{ID: s.id, Epoch: s.epoch, Spare: s.spare}
+		s.memberMu.Unlock()
+		return resp, nil
+	case EpochSetReq:
+		s.SetMembership(r.Epoch, r.Addrs)
+		return EpochSetResp{Epoch: s.Epoch()}, nil
+	case MembershipReq:
+		s.memberMu.Lock()
+		resp := MembershipResp{Epoch: s.epoch, Addrs: append([]string(nil), s.memberAddrs...)}
+		s.memberMu.Unlock()
+		return resp, nil
 	case PutReq:
 		return s.handlePut(r)
 	case GetReq:
@@ -106,6 +167,8 @@ func (s *Server) Handle(req any) (any, error) {
 		return s.handleShardGet(r)
 	case ShardDropReq:
 		return s.handleShardDrop(r)
+	case ShardKeysReq:
+		return s.handleShardKeys()
 	case LockReq:
 		return s.handleLock(r)
 	case TraceReq:
@@ -330,7 +393,30 @@ func (s *Server) handleShardPut(r ShardPutReq) (any, error) {
 	cp := append([]byte(nil), r.Data...)
 	m[r.Shard] = cp
 	s.shardBytes += int64(len(cp))
+	if r.Rebuild {
+		s.reg.Counter("rebuilt_shards").Inc()
+		s.reg.Counter("rebuilt_bytes").Add(int64(len(cp)))
+	}
 	return ShardPutResp{}, nil
+}
+
+func (s *Server) handleShardKeys() (any, error) {
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.shards))
+	for k := range s.shards {
+		keys = append(keys, k)
+	}
+	s.mu.Unlock()
+	sortStrings(keys)
+	return ShardKeysResp{Keys: keys}, nil
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }
 
 func (s *Server) handleShardGet(r ShardGetReq) (any, error) {
@@ -374,5 +460,8 @@ func (s *Server) stats() StatsResp {
 		ReplayGets:     s.reg.Counter("replay_gets").Value(),
 		GCFreedBytes:   s.reg.Counter("gc_freed_bytes").Value(),
 		PutNanos:       s.reg.Counter("put_nanos").Value(),
+		RebuiltShards:  s.reg.Counter("rebuilt_shards").Value(),
+		RebuiltBytes:   s.reg.Counter("rebuilt_bytes").Value(),
+		Epoch:          s.Epoch(),
 	}
 }

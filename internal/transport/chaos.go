@@ -3,6 +3,7 @@ package transport
 import (
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -112,8 +113,32 @@ func (c *Chaos) Apply(sched failure.Schedule, addrs []string) {
 		if inj.Kind == failure.NetDelay {
 			w.delay = inj.Duration / 4 // injected latency per call
 		}
+		if inj.Kind == failure.ServerFailStop {
+			// Permanent fail-stop: the window never closes.
+			w.until = permanent
+		}
 		c.windows[inj.Server] = append(c.windows[inj.Server], w)
 	}
+}
+
+// permanent is the window end of a fail-stop: far enough in the future
+// that it never expires within a run.
+const permanent = time.Duration(math.MaxInt64)
+
+// FailStop permanently blacks out addr, as a ServerFailStop would: every
+// dial and call fails with ErrNoEndpoint and the address never recovers.
+// Live connections are killed so in-flight calls fail promptly.
+func (c *Chaos) FailStop(addr string) {
+	c.mu.Lock()
+	id, ok := c.addrs[addr]
+	if !ok {
+		id = len(c.addrs) + 1000 // synthesize an id for manual targets
+		c.addrs[addr] = id
+	}
+	now := time.Since(c.start)
+	c.windows[id] = append(c.windows[id], chaosWindow{from: now, until: permanent, kind: failure.ServerFailStop})
+	c.mu.Unlock()
+	c.KillConns(addr)
 }
 
 // Blackout manually blacks out addr for d, as a ServerCrash would.
@@ -151,7 +176,7 @@ func (c *Chaos) faults(addr string) (black bool, delay time.Duration, drop bool)
 				continue
 			}
 			switch w.kind {
-			case failure.ServerCrash:
+			case failure.ServerCrash, failure.ServerFailStop:
 				black = true
 			case failure.NetDelay:
 				delay += w.delay

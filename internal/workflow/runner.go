@@ -101,6 +101,16 @@ func (r *run) rankLoop(e *rankEntry, abort <-chan struct{}) error {
 			r.world.Kill(e.proc)
 			return mpi.ErrDead
 		}
+		// Scheduled staging-server fail-stops: producer rank 0 pulls the
+		// plug at the top of ts; the heartbeat detector and recovery
+		// supervisor take it from there.
+		if c.producer && e.rank == 0 {
+			for _, id := range r.srvInj.due(ts) {
+				if err := r.group.FailStop(id); err != nil {
+					return fmt.Errorf("workflow: fail-stop server %d: %w", id, err)
+				}
+			}
+		}
 		if c.producer {
 			// Stencil-style halo exchange with ring neighbours before
 			// the step, exercising point-to-point messaging under
@@ -124,6 +134,17 @@ func (r *run) rankLoop(e *rankEntry, abort <-chan struct{}) error {
 					return fmt.Errorf("workflow: %s/%d ts%d %s: %w", c.name, e.rank, ts, f.Name, err)
 				}
 				e.state.fold(synth.Checksum(data))
+			}
+			// CoREC-protect the full field alongside the plain staging
+			// copy; the payload is deterministic, so re-protection after
+			// a rollback overwrites shards with identical bytes.
+			if r.opts.Redundancy != nil && e.rank == 0 {
+				for _, f := range r.fields {
+					key := fmt.Sprintf("wf/%s/%d", f.Name, ts)
+					if err := r.protect(key, f.Fill(ts, r.subset)); err != nil {
+						return fmt.Errorf("workflow: protect %s ts%d: %w", f.Name, ts, err)
+					}
+				}
 			}
 			r.coupler.MarkProduced(ts, e.rank)
 		} else {
@@ -219,7 +240,9 @@ func (r *run) haloExchange(e *rankEntry, ts int64) error {
 }
 
 // maxAttempts bounds recovery rounds, as a guard against livelock bugs.
-func (r *run) maxAttempts() int { return len(r.opts.Failures) + 3 }
+func (r *run) maxAttempts() int {
+	return len(r.opts.Failures) + len(r.opts.ServerFailures) + 3
+}
 
 // superviseCR runs one component under checkpoint/restart: on failure
 // the whole component rolls back to its last checkpoint, repaired with
@@ -262,6 +285,12 @@ func (r *run) superviseCR(c *component) error {
 			return fmt.Errorf("workflow: recover %s: %w", c.name, err)
 		}
 		procs = repaired.Members()
+
+		// A staging fail-stop may have triggered the rank failures; let
+		// the supervisor finish promoting before clients re-dial.
+		if err := r.waitServers(); err != nil {
+			return fmt.Errorf("workflow: recover %s: %w", c.name, err)
+		}
 
 		// Roll every rank of the component back to its checkpoint and
 		// switch the staging servers into replay mode for it.
@@ -327,6 +356,12 @@ func (r *run) superviseCoordinated(comps []*component) error {
 		}
 		procs = repaired.Members()
 
+		// If a staging server fail-stopped, wait for the supervisor to
+		// promote its spare so the rollback re-dials the live address.
+		if err := r.waitServers(); err != nil {
+			return fmt.Errorf("workflow: coordinated recovery: %w", err)
+		}
+
 		// Global rollback: everyone reloads the coordinated checkpoint.
 		restart := int64(0)
 		first := true
@@ -388,6 +423,10 @@ func (r *run) superviseReplicated(c *component) error {
 					return
 				}
 				e.proc = sp
+				if err := r.waitServers(); err != nil {
+					errs[rank] = err
+					return
+				}
 				if err := client.Reconnect(); err != nil {
 					errs[rank] = err
 					return

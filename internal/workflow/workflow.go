@@ -16,9 +16,12 @@ import (
 	"time"
 
 	"gospaces/internal/ckpt"
+	"gospaces/internal/corec"
 	"gospaces/internal/domain"
+	"gospaces/internal/health"
 	"gospaces/internal/mpi"
 	"gospaces/internal/pfs"
+	"gospaces/internal/recovery"
 	"gospaces/internal/staging"
 	"gospaces/internal/synth"
 	"gospaces/internal/transport"
@@ -46,6 +49,15 @@ type FailAt struct {
 	// NodeLoss also destroys the component's node-local (L1)
 	// checkpoints, forcing multi-level recovery from the durable level.
 	NodeLoss bool
+}
+
+// ServerFailAt schedules one staging-server fail-stop: the server's
+// listener closes for good when the producer's rank 0 begins timestep
+// TS. Unlike FailAt process failures, nothing comes back at the old
+// address — the recovery supervisor must promote a warm spare.
+type ServerFailAt struct {
+	Server int
+	TS     int64
 }
 
 // Options configures a workflow run.
@@ -82,6 +94,21 @@ type Options struct {
 	Failures []FailAt
 	// Spares is the spare-process pool size.
 	Spares int
+	// ServerFailures schedules permanent staging-server fail-stops.
+	// Only the Coordinated scheme supports them: its global rollback
+	// regenerates all coupling data, so nothing depends on the staged
+	// state lost with the dead server. Scheduling one enables the
+	// heartbeat detector and the recovery supervisor, which promotes a
+	// warm spare and re-protects CoREC shards.
+	ServerFailures []ServerFailAt
+	// StagingSpares is the warm-spare staging-server pool size (default:
+	// one per scheduled server failure).
+	StagingSpares int
+	// Redundancy, when set, CoREC-protects every produced field per
+	// timestep (replication or erasure coding across the staging group),
+	// giving the recovery supervisor shards to rebuild after a
+	// fail-stop.
+	Redundancy *corec.Config
 	// FieldName names the exchanged object (prefix when Fields > 1).
 	FieldName string
 	// Fields is the number of field components exchanged per coupling
@@ -146,6 +173,31 @@ func (o *Options) defaults() error {
 	if o.SimPeriod <= 0 || o.AnaPeriod <= 0 {
 		return fmt.Errorf("workflow: checkpoint periods must be positive")
 	}
+	if len(o.ServerFailures) > 0 {
+		if o.Scheme != ckpt.Coordinated {
+			return fmt.Errorf("workflow: server fail-stops need the coordinated scheme (staged state lost with the server is only regenerated by global rollback)")
+		}
+		for _, f := range o.ServerFailures {
+			if f.Server < 0 || f.Server >= o.NServers {
+				return fmt.Errorf("workflow: server failure targets server %d of %d", f.Server, o.NServers)
+			}
+			if f.TS < 1 || f.TS > o.Steps {
+				return fmt.Errorf("workflow: server failure at ts %d outside 1..%d", f.TS, o.Steps)
+			}
+		}
+		if o.StagingSpares == 0 {
+			o.StagingSpares = len(o.ServerFailures)
+		}
+	}
+	if o.Redundancy != nil {
+		spread := o.Redundancy.Replicas
+		if o.Redundancy.Mode == corec.ErasureCoding {
+			spread = o.Redundancy.K + o.Redundancy.M
+		}
+		if spread > o.NServers {
+			return fmt.Errorf("workflow: redundancy spans %d shards over %d servers", spread, o.NServers)
+		}
+	}
 	return nil
 }
 
@@ -177,6 +229,16 @@ type Result struct {
 	Staging staging.StatsResp
 	// CheckpointBytes is resident checkpoint storage at the end.
 	CheckpointBytes int64
+	// ServerRecoveries counts staging-server promotions (spare replaced
+	// a confirmed-dead member).
+	ServerRecoveries int
+	// Rebuilds and RebuildBytes count supervised CoREC re-protection
+	// work after server fail-stops.
+	Rebuilds     int64
+	RebuildBytes int64
+	// FinalEpoch is the staging membership epoch at the end of the run
+	// (1 + one bump per promotion).
+	FinalEpoch uint64
 }
 
 // rankState is the application state each rank checkpoints: the last
@@ -228,6 +290,33 @@ func (i *injector) fires(component string, rank int, ts int64) (hit, nodeLoss bo
 	return false, false
 }
 
+// serverInjector hands out each scheduled staging-server fail-stop
+// exactly once, keyed by schedule index so duplicate entries both fire.
+type serverInjector struct {
+	mu    sync.Mutex
+	plan  []ServerFailAt
+	fired []bool
+}
+
+func newServerInjector(plan []ServerFailAt) *serverInjector {
+	return &serverInjector{plan: plan, fired: make([]bool, len(plan))}
+}
+
+// due returns the server ids scheduled to fail-stop at ts, each at most
+// once per run (a rollback re-entering ts must not re-kill).
+func (i *serverInjector) due(ts int64) []int {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var out []int
+	for idx, f := range i.plan {
+		if !i.fired[idx] && f.TS == ts {
+			i.fired[idx] = true
+			out = append(out, f.Server)
+		}
+	}
+	return out
+}
+
 // run owns the shared machinery of one workflow execution.
 type run struct {
 	opts      Options
@@ -241,9 +330,18 @@ type run struct {
 	coupler   *Coupler
 	fields    []*synth.Field
 	inj       *injector
+	srvInj    *serverInjector
+	sup       *recovery.Supervisor
 	subset    domain.BBox
 	simDec    *domain.Decomposition
 	anaDec    *domain.Decomposition
+
+	// redMu guards the lazily (re)built CoREC protector: a staging
+	// client plus resilience client over its raw shard connections,
+	// re-dialled after a promotion moves a membership slot.
+	redMu  sync.Mutex
+	protCl *staging.Client
+	prot   *corec.Client
 
 	recoveries     atomic.Int64
 	l1Loads        atomic.Int64
@@ -315,8 +413,34 @@ func Run(opts Options) (Result, error) {
 		coupler:   NewCoupler(opts.SimRanks, opts.AnaRanks*opts.Consumers),
 		fields:    makeFields(opts),
 		inj:       newInjector(opts.Failures),
+		srvInj:    newServerInjector(opts.ServerFailures),
 		subset:    domain.Subset(opts.Global, opts.SubsetFrac),
 		doom:      make(chan struct{}),
+	}
+	defer r.closeProtector()
+
+	if len(opts.ServerFailures) > 0 || opts.StagingSpares > 0 {
+		for i := 0; i < opts.StagingSpares; i++ {
+			if _, err := group.AddSpare(); err != nil {
+				return Result{}, err
+			}
+		}
+		det := health.NewDetector(tr, "workflow/supervisor", health.Config{
+			Period:       15 * time.Millisecond,
+			Timeout:      100 * time.Millisecond,
+			SuspectAfter: 2,
+			DeadAfter:    6,
+		})
+		r.sup = recovery.New(tr, det, group.Membership(), group, recovery.Config{
+			Redundancy: opts.Redundancy,
+			OnPromote: func(slot int, addr string, epoch uint64) {
+				// Re-point the shared client pool so reconnecting ranks
+				// dial the promoted spare.
+				group.Pool.SetMember(slot, addr, epoch)
+			},
+		})
+		r.sup.Start()
+		defer r.sup.Close()
 	}
 
 	start := time.Now()
@@ -324,6 +448,17 @@ func Run(opts Options) (Result, error) {
 		return Result{}, err
 	}
 	elapsed := time.Since(start)
+
+	var promotions, rebuilds, rebuildBytes int64
+	if r.sup != nil {
+		// Drain any in-flight repair so the final stats see the rebuilt
+		// shards; a slot that stays dead surfaces below as a dial error.
+		_ = r.sup.WaitIdle(30 * time.Second)
+		m := r.sup.Metrics()
+		promotions = m.Counter("recovery.promotions").Value()
+		rebuilds = m.Counter("recovery.rebuilds").Value()
+		rebuildBytes = m.Counter("recovery.rebuild_bytes").Value()
+	}
 
 	probe, err := group.NewClient("probe/0")
 	if err != nil {
@@ -335,19 +470,89 @@ func Run(opts Options) (Result, error) {
 		return Result{}, err
 	}
 	return Result{
-		Elapsed:         elapsed,
-		Recoveries:      int(r.recoveries.Load()),
-		ReplayedEvents:  int(r.replayedEvents.Load()),
-		SuccessReads:    r.successReads.Load(),
-		CorruptReads:    r.corruptReads.Load(),
-		SuppressedPuts:  stats.SuppressedPuts,
-		HaloExchanges:   r.haloExchanges.Load(),
-		L1Loads:         int(r.l1Loads.Load()),
-		L2Loads:         int(r.l2Loads.Load()),
-		StateMismatches: r.validateState(),
-		Staging:         stats,
-		CheckpointBytes: r.ckptStore.Bytes() + r.l1Store.Bytes(),
+		Elapsed:          elapsed,
+		Recoveries:       int(r.recoveries.Load()),
+		ReplayedEvents:   int(r.replayedEvents.Load()),
+		SuccessReads:     r.successReads.Load(),
+		CorruptReads:     r.corruptReads.Load(),
+		SuppressedPuts:   stats.SuppressedPuts,
+		HaloExchanges:    r.haloExchanges.Load(),
+		L1Loads:          int(r.l1Loads.Load()),
+		L2Loads:          int(r.l2Loads.Load()),
+		StateMismatches:  r.validateState(),
+		Staging:          stats,
+		CheckpointBytes:  r.ckptStore.Bytes() + r.l1Store.Bytes(),
+		ServerRecoveries: int(promotions),
+		Rebuilds:         rebuilds,
+		RebuildBytes:     rebuildBytes,
+		FinalEpoch:       group.Membership().Epoch(),
 	}, nil
+}
+
+// protect CoREC-stores data under key, lazily building the protector
+// and re-dialling it once on failure — a promotion since the last call
+// moves a shard's home address.
+func (r *run) protect(key string, data []byte) error {
+	r.redMu.Lock()
+	defer r.redMu.Unlock()
+	if r.prot == nil {
+		if err := r.rebuildProtector(); err != nil {
+			return err
+		}
+	}
+	err := r.prot.Put(key, data)
+	if err == nil {
+		return nil
+	}
+	if rerr := r.rebuildProtector(); rerr != nil {
+		return err // dead slot not yet promoted: the put error says more
+	}
+	return r.prot.Put(key, data)
+}
+
+// rebuildProtector dials a fresh staging client at the pool's current
+// membership view and wraps a resilience client over its raw shard
+// connections. Callers hold redMu.
+func (r *run) rebuildProtector() error {
+	if r.protCl != nil {
+		r.protCl.Close()
+		r.protCl, r.prot = nil, nil
+	}
+	cl, err := r.group.NewClient("protect/0")
+	if err != nil {
+		return err
+	}
+	conns := make([]transport.Client, cl.NumServers())
+	for i := range conns {
+		conns[i] = cl.ShardConn(i)
+	}
+	p, err := corec.New(*r.opts.Redundancy, conns)
+	if err != nil {
+		cl.Close()
+		return err
+	}
+	r.protCl, r.prot = cl, p
+	return nil
+}
+
+func (r *run) closeProtector() {
+	r.redMu.Lock()
+	defer r.redMu.Unlock()
+	if r.protCl != nil {
+		r.protCl.Close()
+		r.protCl, r.prot = nil, nil
+	}
+}
+
+// waitServers blocks until the staging membership is quiet again — all
+// slots alive with no promotion or re-protection in flight — so rank
+// recovery re-dials promoted addresses instead of dead ones. Without a
+// supervisor there is nothing to wait for.
+func (r *run) waitServers() error {
+	if r.sup == nil {
+		return nil
+	}
+	return r.sup.WaitIdle(30 * time.Second)
 }
 
 // groupPrefix returns the transport address prefix: a name for the

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"gospaces/internal/ckpt"
+	"gospaces/internal/corec"
 	"gospaces/internal/domain"
 )
 
@@ -260,6 +261,80 @@ func TestFailureAtLastStep(t *testing.T) {
 	expectReads(t, res, opts)
 }
 
+// TestCoordinatedServerFailStop is the server-side fault-model
+// acceptance run: a staging server fail-stops permanently mid-run. The
+// heartbeat detector confirms the death, the recovery supervisor
+// promotes a warm spare and rebuilds the CoREC shards onto it, the
+// coordinated rollback regenerates the staged coupling data, and every
+// consumer read stays byte-exact.
+func TestCoordinatedServerFailStop(t *testing.T) {
+	opts := baseOpts(ckpt.Coordinated)
+	opts.Steps = 12
+	opts.NServers = 4
+	opts.ServerFailures = []ServerFailAt{{Server: 1, TS: 6}}
+	opts.Redundancy = &corec.Config{Mode: corec.ErasureCoding, K: 2, M: 2}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads %d after server fail-stop", res.CorruptReads)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("no rank rollback despite a dead staging server")
+	}
+	if res.ServerRecoveries != 1 {
+		t.Fatalf("server recoveries = %d, want 1", res.ServerRecoveries)
+	}
+	if res.FinalEpoch != 2 {
+		t.Fatalf("final epoch = %d, want 2", res.FinalEpoch)
+	}
+	if res.Rebuilds == 0 || res.RebuildBytes == 0 {
+		t.Fatalf("re-protection did not rebuild: %d rebuilds, %d bytes", res.Rebuilds, res.RebuildBytes)
+	}
+	// Storage overhead restored: the replacement server holds shards it
+	// accounted as rebuilt.
+	if res.Staging.RebuiltShards == 0 || res.Staging.RebuiltBytes == 0 {
+		t.Fatalf("no rebuilt shards in staging stats: %+v", res.Staging)
+	}
+	expectReads(t, res, opts)
+}
+
+// TestCoordinatedServerFailStopOverTCP runs the same fault across real
+// loopback sockets: the dead server's live connections are severed too.
+func TestCoordinatedServerFailStopOverTCP(t *testing.T) {
+	opts := baseOpts(ckpt.Coordinated)
+	opts.OverTCP = true
+	opts.Steps = 8
+	opts.NServers = 4
+	opts.ServerFailures = []ServerFailAt{{Server: 2, TS: 5}}
+	opts.Redundancy = &corec.Config{Mode: corec.ErasureCoding, K: 2, M: 2}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 || res.ServerRecoveries != 1 || res.Rebuilds == 0 {
+		t.Fatalf("result %+v", res)
+	}
+	expectReads(t, res, opts)
+}
+
+// TestServerAndProcessFailuresTogether overlaps a staging-server
+// fail-stop with an ordinary process failure in one coordinated run.
+func TestServerAndProcessFailuresTogether(t *testing.T) {
+	opts := baseOpts(ckpt.Coordinated)
+	opts.Steps = 12
+	opts.NServers = 4
+	opts.Failures = []FailAt{{Component: "ana", Rank: 0, TS: 9}}
+	opts.ServerFailures = []ServerFailAt{{Server: 0, TS: 5}}
+	opts.Redundancy = &corec.Config{Mode: corec.ErasureCoding, K: 2, M: 2}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads %d", res.CorruptReads)
+	}
+	if res.Recoveries < 2 {
+		t.Fatalf("recoveries = %d, want >= 2", res.Recoveries)
+	}
+	if res.ServerRecoveries != 1 {
+		t.Fatalf("server recoveries = %d", res.ServerRecoveries)
+	}
+	expectReads(t, res, opts)
+}
+
 func TestOptionsValidation(t *testing.T) {
 	if _, err := Run(Options{}); err == nil {
 		t.Fatal("empty options accepted")
@@ -273,6 +348,21 @@ func TestOptionsValidation(t *testing.T) {
 	opts.SimPeriod = 0
 	if _, err := Run(opts); err == nil {
 		t.Fatal("zero sim period accepted")
+	}
+	opts = baseOpts(ckpt.Uncoordinated)
+	opts.ServerFailures = []ServerFailAt{{Server: 0, TS: 2}}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("server fail-stop with a non-coordinated scheme accepted")
+	}
+	opts = baseOpts(ckpt.Coordinated)
+	opts.ServerFailures = []ServerFailAt{{Server: 9, TS: 2}}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("out-of-range server failure accepted")
+	}
+	opts = baseOpts(ckpt.Coordinated)
+	opts.Redundancy = &corec.Config{Mode: corec.ErasureCoding, K: 4, M: 2}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("redundancy wider than the group accepted")
 	}
 }
 
