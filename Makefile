@@ -18,9 +18,10 @@ test: build
 
 # The resilience acceptance gate: transport, staging, and the
 # fail-stop recovery stack under the race detector (includes the chaos
-# soak, lifecycle, and supervised-recovery tests).
+# soak, lifecycle, supervised-recovery, and log-replication tests, plus
+# the crash-consistency state machines: wlog, ckpt, pfs).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/health/... ./internal/recovery/... ./internal/corec/...
+	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/...
 
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:

@@ -9,6 +9,10 @@
 //	stagingd -addr :7070 -id 0          # one server
 //	stagingd -addr :7070 -servers 4     # a whole group, ports 7070..7073
 //	stagingd -addr :7080 -id 4 -spare   # a warm spare awaiting promotion
+//
+// With -wlog-replicas k each server ships its event log to its k
+// membership successors; group mode wires the membership itself, while
+// single-server mode needs -peers with the full ordered address list.
 package main
 
 import (
@@ -34,6 +38,8 @@ func main() {
 	chaosHangProb := flag.Float64("chaos-hang-prob", 0, "probability a handled request hangs (client sees a dropped response)")
 	chaosHang := flag.Duration("chaos-hang", 30*time.Second, "injected hang duration; set beyond client deadlines")
 	spare := flag.Bool("spare", false, "start as a warm spare outside the membership, awaiting promotion by a recovery supervisor")
+	wlogReplicas := flag.Int("wlog-replicas", 0, "replicate the event log (and staged payloads) to this many membership successors; 0 disables")
+	peers := flag.String("peers", "", "ordered comma-separated address list of the whole staging group (single-server mode); required for -wlog-replicas so the server can find its successors")
 	flag.Parse()
 
 	opts := gospaces.ServeOptions{
@@ -43,6 +49,7 @@ func main() {
 		ChaosHangProb:  *chaosHangProb,
 		ChaosHang:      *chaosHang,
 		Spare:          *spare,
+		WlogReplicas:   *wlogReplicas,
 	}
 	if *chaosDelayProb > 0 || *chaosHangProb > 0 {
 		fmt.Printf("stagingd: CHAOS MODE: delay p=%.2f (%v), hang p=%.2f (%v), seed %d\n",
@@ -59,6 +66,9 @@ func main() {
 		role := ""
 		if *spare {
 			role = " (spare)"
+		}
+		if *peers != "" && !*spare {
+			srv.SetMembership(1, strings.Split(*peers, ","))
 		}
 		fmt.Printf("stagingd: server %d listening on %s%s\n", *id, srv.Addr(), role)
 		running = append(running, srv)
@@ -77,6 +87,11 @@ func main() {
 			}
 			running = append(running, srv)
 			addrs = append(addrs, srv.Addr())
+		}
+		// Replication successors are resolved through the membership
+		// view, which only exists once every member is listening.
+		for _, srv := range running {
+			srv.SetMembership(1, addrs)
 		}
 		fmt.Printf("stagingd: group of %d servers up\n", *servers)
 		fmt.Printf("stagingd: dsctl -servers %s\n", strings.Join(addrs, ","))

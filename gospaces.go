@@ -130,14 +130,28 @@ func StartStaging(cfg StagingConfig) (*Staging, error) {
 // StagingServer is one TCP staging server (cmd/stagingd wraps this).
 type StagingServer struct {
 	ep   io.Closer
+	srv  *staging.Server
 	addr string
 }
 
 // Addr returns the server's bound address.
 func (s *StagingServer) Addr() string { return s.addr }
 
+// SetMembership installs the staging group's ordered address list (and
+// its epoch) on this server. Log replication needs it: each server
+// locates its own slot by address and ships mutations to its
+// WlogReplicas membership successors. In-process groups (StartGroup /
+// RunWorkflow) wire this automatically; TCP deployments call it once
+// all group members are listening.
+func (s *StagingServer) SetMembership(epoch uint64, addrs []string) {
+	s.srv.SetMembership(epoch, addrs)
+}
+
 // Close stops the server.
-func (s *StagingServer) Close() error { return s.ep.Close() }
+func (s *StagingServer) Close() error {
+	s.srv.StopReplication()
+	return s.ep.Close()
+}
 
 // ServeOptions configures a TCP staging server, including the
 // server-side fault injection stagingd exposes for resilience testing:
@@ -154,6 +168,11 @@ type ServeOptions struct {
 	// (reporting Spare=true) but waits outside the membership until a
 	// recovery supervisor promotes it in place of a failed server.
 	Spare bool
+	// WlogReplicas ships every event-log mutation (and the staged
+	// payloads riding it) to this many membership successors, so a
+	// recovery supervisor can restore a fail-stopped server's log onto
+	// a promoted spare. 0 disables log replication.
+	WlogReplicas int
 }
 
 // Serve starts staging server id listening on addr (host:port; use
@@ -181,7 +200,13 @@ func ServeWithOptions(addr string, id int, opts ServeOptions) (*StagingServer, e
 	if a, ok := closer.(interface{ Addr() string }); ok {
 		bound = a.Addr()
 	}
-	return &StagingServer{ep: closer, addr: bound}, nil
+	if opts.WlogReplicas > 0 {
+		// The server finds its own membership slot by address, so it
+		// must know the bound (not the requested ":0") address.
+		srv.SetAddr(bound)
+		srv.EnableReplication(tr, opts.WlogReplicas)
+	}
+	return &StagingServer{ep: closer, srv: srv, addr: bound}, nil
 }
 
 // RetryPolicy configures the RPC retry layer (exponential backoff with

@@ -8,8 +8,11 @@ package ckpt
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
+	"sync"
 
 	"gospaces/internal/pfs"
 )
@@ -55,6 +58,14 @@ func (s Scheme) String() string {
 func (s Scheme) Logged() bool { return s == Uncoordinated || s == Hybrid }
 
 // Saver persists per-rank component state in a checkpoint store.
+//
+// Each rank's checkpoint is kept as a CRC-checksummed record in one of
+// two alternating generations plus a tiny commit marker, so a writer
+// dying mid-checkpoint (torn write) or silent media corruption never
+// costs more than one checkpoint period: Save writes the full record
+// into the non-committed generation and only then flips the marker (the
+// atomic commit point), and Load falls back to the surviving generation
+// when the marked one fails verification.
 type Saver struct {
 	store *pfs.Store
 }
@@ -62,38 +73,145 @@ type Saver struct {
 // NewSaver wraps a checkpoint store.
 func NewSaver(store *pfs.Store) *Saver { return &Saver{store: store} }
 
-// Key names rank's checkpoint object.
+// Key names rank's checkpoint object prefix; the two generation records
+// live at <key>/g0 and <key>/g1, the commit marker at <key>/cur.
 func Key(component string, rank int) string {
 	return fmt.Sprintf("ckpt/%s/%d", component, rank)
 }
 
-// Save serializes state (gob) as the rank's current checkpoint,
-// replacing the previous one.
+func genKey(base string, g int) string { return fmt.Sprintf("%s/g%d", base, g) }
+func curKey(base string) string        { return base + "/cur" }
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+const recMagic = "CKP1"
+
+// sealRecord frames a checkpoint payload: magic, sequence number,
+// payload length, CRC32-C over header+payload, payload. Any truncation
+// or bit flip fails verification in openRecord.
+func sealRecord(seq uint64, payload []byte) []byte {
+	rec := make([]byte, 0, 24+len(payload))
+	rec = append(rec, recMagic...)
+	var hdr [16]byte
+	binary.BigEndian.PutUint64(hdr[0:8], seq)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	rec = append(rec, hdr[:]...)
+	crc := crc32.Checksum(hdr[:], crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	var c [4]byte
+	binary.BigEndian.PutUint32(c[:], crc)
+	rec = append(rec, c[:]...)
+	return append(rec, payload...)
+}
+
+// openRecord verifies and unframes one generation record.
+func openRecord(rec []byte) (seq uint64, payload []byte, ok bool) {
+	if len(rec) < 24 || string(rec[:4]) != recMagic {
+		return 0, nil, false
+	}
+	hdr := rec[4:20]
+	seq = binary.BigEndian.Uint64(hdr[0:8])
+	want := binary.BigEndian.Uint32(rec[20:24])
+	payload = rec[24:]
+	if uint64(len(payload)) != binary.BigEndian.Uint64(hdr[8:16]) {
+		return 0, nil, false
+	}
+	crc := crc32.Checksum(hdr, crcTable)
+	crc = crc32.Update(crc, crcTable, payload)
+	if crc != want {
+		return 0, nil, false
+	}
+	return seq, payload, true
+}
+
+// gens reads and verifies both generation records of base.
+func (s *Saver) gens(base string) (seqs [2]uint64, payloads [2][]byte, valid [2]bool, present bool) {
+	for g := 0; g < 2; g++ {
+		rec, ok := s.store.Read(genKey(base, g))
+		if !ok {
+			continue
+		}
+		present = true
+		seqs[g], payloads[g], valid[g] = openRecord(rec)
+	}
+	return
+}
+
+// committedGen reads the commit marker (-1 when missing or corrupt).
+func (s *Saver) committedGen(base string) int {
+	m, ok := s.store.Read(curKey(base))
+	if !ok || len(m) != 1 || m[0] > 1 {
+		return -1
+	}
+	return int(m[0])
+}
+
+// Save serializes state (gob) as the rank's current checkpoint. The
+// record goes to the generation the commit marker does NOT point at, so
+// the committed checkpoint stays intact until the marker flip commits
+// the new one.
 func (s *Saver) Save(component string, rank int, state any) error {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(state); err != nil {
 		return fmt.Errorf("ckpt: encode %s/%d: %w", component, rank, err)
 	}
-	s.store.Write(Key(component, rank), buf.Bytes())
+	base := Key(component, rank)
+	seqs, _, valid, _ := s.gens(base)
+	target := 0
+	switch cur := s.committedGen(base); {
+	case cur >= 0:
+		target = 1 - cur
+	case valid[0] && !valid[1]:
+		target = 1
+	case valid[0] && valid[1] && seqs[1] < seqs[0]:
+		target = 1
+	}
+	seq := uint64(1)
+	for g := 0; g < 2; g++ {
+		if valid[g] && seqs[g] >= seq {
+			seq = seqs[g] + 1
+		}
+	}
+	s.store.Write(genKey(base, target), sealRecord(seq, buf.Bytes()))
+	s.store.Write(curKey(base), []byte{byte(target)})
 	return nil
 }
 
 // Load restores the rank's last checkpoint into out, reporting whether
-// one existed.
+// one existed. The committed generation is tried first; a torn or
+// corrupt record falls back to the other generation. An error is
+// returned only when records exist but none verifies.
 func (s *Saver) Load(component string, rank int, out any) (bool, error) {
-	data, ok := s.store.Read(Key(component, rank))
-	if !ok {
+	base := Key(component, rank)
+	seqs, payloads, valid, present := s.gens(base)
+	if !present {
 		return false, nil
 	}
-	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
-		return false, fmt.Errorf("ckpt: decode %s/%d: %w", component, rank, err)
+	order := []int{0, 1}
+	if cur := s.committedGen(base); cur >= 0 {
+		order = []int{cur, 1 - cur}
+	} else if valid[1] && (!valid[0] || seqs[1] > seqs[0]) {
+		// No usable marker: freshest verified record wins.
+		order = []int{1, 0}
 	}
-	return true, nil
+	for _, g := range order {
+		if !valid[g] {
+			continue
+		}
+		if err := gob.NewDecoder(bytes.NewReader(payloads[g])).Decode(out); err != nil {
+			return false, fmt.Errorf("ckpt: decode %s/%d: %w", component, rank, err)
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("ckpt: %s/%d: all checkpoint generations torn or corrupt", component, rank)
 }
 
 // Drop removes the rank's checkpoint.
 func (s *Saver) Drop(component string, rank int) {
-	s.store.Delete(Key(component, rank))
+	base := Key(component, rank)
+	s.store.Delete(genKey(base, 0))
+	s.store.Delete(genKey(base, 1))
+	s.store.Delete(curKey(base))
 }
 
 // ---------------------------------------------------------------------
@@ -126,11 +244,13 @@ func (p ProactivePolicy) ShouldCheckpoint(ts int64) bool {
 // PFS (L2). L1 survives process failures but not node loss.
 
 // MultiLevel writes checkpoints alternately to a fast local store and a
-// durable global store.
+// durable global store. It is safe for concurrent use by multiple
+// ranks.
 type MultiLevel struct {
 	l1, l2 *Saver
 	// L2Every directs every n-th checkpoint to the durable level.
 	L2Every int
+	mu      sync.Mutex
 	counts  map[string]int
 }
 
@@ -152,11 +272,14 @@ func NewMultiLevel(l1, l2 *pfs.Store, l2Every int) (*MultiLevel, error) {
 // L2Every-th call for the same rank.
 func (m *MultiLevel) Save(component string, rank int, state any) (level int, err error) {
 	k := Key(component, rank)
+	m.mu.Lock()
 	m.counts[k]++
+	n := m.counts[k]
+	m.mu.Unlock()
 	if err := m.l1.Save(component, rank, state); err != nil {
 		return 0, err
 	}
-	if m.counts[k]%m.L2Every == 0 {
+	if n%m.L2Every == 0 {
 		if err := m.l2.Save(component, rank, state); err != nil {
 			return 0, err
 		}

@@ -189,6 +189,79 @@ func (m *Manager) Close() {
 	m.cond.Broadcast()
 }
 
+// ReaderCount is one holder's read-lock recursion count in an exported
+// lock table.
+type ReaderCount struct {
+	Holder string
+	Count  int
+}
+
+// HeldLock is the exported state of one named lock: its writer (""
+// if none) and its readers. Used by the staging log-replication layer
+// to carry the lock table to a promoted spare.
+type HeldLock struct {
+	Name    string
+	Writer  string
+	Readers []ReaderCount
+}
+
+// Export returns the lock table's held state in deterministic order
+// (names and reader holders sorted). Waiter bookkeeping is not
+// exported: a restored table starts with no waiters.
+func (m *Manager) Export() []HeldLock {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	names := make([]string, 0, len(m.locks))
+	for n, st := range m.locks {
+		if st.writer != "" || len(st.readers) > 0 {
+			names = append(names, n)
+		}
+	}
+	sortStrings(names)
+	out := make([]HeldLock, 0, len(names))
+	for _, n := range names {
+		st := m.locks[n]
+		h := HeldLock{Name: n, Writer: st.writer}
+		holders := make([]string, 0, len(st.readers))
+		for r := range st.readers {
+			holders = append(holders, r)
+		}
+		sortStrings(holders)
+		for _, r := range holders {
+			h.Readers = append(h.Readers, ReaderCount{Holder: r, Count: st.readers[r]})
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+// Import replaces the lock table with held. It is meant for a freshly
+// promoted spare restoring a dead lock server's state; any local
+// waiters are woken so they re-evaluate against the restored table.
+func (m *Manager) Import(held []HeldLock) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.locks = make(map[string]*lockState, len(held))
+	for _, h := range held {
+		st := &lockState{readers: make(map[string]int), writer: h.Writer}
+		for _, r := range h.Readers {
+			if r.Count > 0 {
+				st.readers[r.Holder] = r.Count
+			}
+		}
+		m.locks[h.Name] = st
+	}
+	m.cond.Broadcast()
+}
+
+func sortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
 // Holders reports the current writer ("" if none) and reader count for
 // name, for introspection.
 func (m *Manager) Holders(name string) (writer string, readers int) {

@@ -19,18 +19,60 @@ import (
 )
 
 // Store is a reliable in-memory object store for checkpoints. The paper
-// assumes the checkpoint storage is fault-free.
+// assumes the checkpoint storage is fault-free; the write-fault knob
+// below relaxes that for tests so internal/ckpt can prove its torn- and
+// corrupt-record fallback.
 type Store struct {
 	mu      sync.RWMutex
 	objects map[string][]byte
 	bytes   int64
 	writes  int64
 	reads   int64
+	fault   WriteFault
 }
+
+// WriteFault selects how the next Write is damaged in flight.
+type WriteFault int
+
+// Write-fault modes.
+const (
+	// FaultNone leaves writes intact (the default).
+	FaultNone WriteFault = iota
+	// FaultTruncate stores only the first half of the payload: a torn
+	// write, as when the writer dies mid-checkpoint.
+	FaultTruncate
+	// FaultBitFlip stores the payload with one bit inverted: silent
+	// media corruption.
+	FaultBitFlip
+)
 
 // NewStore returns an empty checkpoint store.
 func NewStore() *Store {
 	return &Store{objects: make(map[string][]byte)}
+}
+
+// FailNextWrite arms a one-shot write fault: the next Write stores a
+// damaged copy of its payload (and disarms the knob). Test-only
+// instrumentation for checkpoint-integrity fallback paths.
+func (s *Store) FailNextWrite(f WriteFault) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = f
+}
+
+// damage applies the armed fault to cp in place, returning the
+// (possibly shortened) payload. Caller holds s.mu.
+func (s *Store) damage(cp []byte) []byte {
+	switch s.fault {
+	case FaultTruncate:
+		cp = cp[:len(cp)/2]
+	case FaultBitFlip:
+		if len(cp) > 0 {
+			cp[len(cp)/2] ^= 0x40
+		}
+	}
+	s.fault = FaultNone
+	return cp
 }
 
 // Write stores data under name, replacing any previous object.
@@ -38,6 +80,9 @@ func (s *Store) Write(name string, data []byte) {
 	cp := append([]byte(nil), data...)
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.fault != FaultNone {
+		cp = s.damage(cp)
+	}
 	if old, ok := s.objects[name]; ok {
 		s.bytes -= int64(len(old))
 	}

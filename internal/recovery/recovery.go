@@ -92,7 +92,11 @@ func New(tr transport.Transport, det *health.Detector, mem *health.Membership, s
 
 // Metrics returns the registry recording recovery.promotions,
 // recovery.rebuilds, recovery.rebuild_bytes, recovery.failed_rebuilds,
-// recovery.duration_ns, and recovery.no_spare.
+// recovery.duration_ns, and recovery.no_spare; with log replication
+// enabled it also records recovery.log_restores, recovery.log_records,
+// recovery.log_bytes, recovery.log_lag (stream-position spread among
+// surviving replicas), recovery.log_missing, and
+// recovery.failed_log_restores.
 func (s *Supervisor) Metrics() *metrics.Registry { return s.reg }
 
 // Start launches the detector and the supervision loop. It is a no-op
@@ -194,6 +198,10 @@ func (s *Supervisor) recover(ev health.Event) {
 		s.reg.Counter("recovery.no_spare").Inc()
 		return
 	}
+	// Restore the dead server's replicated event-log state onto the
+	// spare before it joins the membership, so the first epoch-stamped
+	// request it serves already sees the dead slot's queues.
+	s.restoreLog(ev.Server, addr)
 	epoch, err := s.mem.Replace(ev.Server, addr)
 	if err != nil {
 		s.reg.Counter("recovery.failed_promotions").Inc()
@@ -210,6 +218,70 @@ func (s *Supervisor) recover(ev health.Event) {
 		s.reprotect(addrs)
 	}
 	s.reg.Counter("recovery.duration_ns").Add(time.Since(start).Nanoseconds())
+}
+
+// restoreLog restores the dead slot's replicated event-log state onto
+// the spare: every surviving member is asked for the replica it hosts
+// of that slot, the freshest answer — the highest stream position —
+// wins (ties go to the lowest-numbered responder), and it is installed
+// on the spare with a bare WlogInstallReq before the membership moves.
+// Flush-before-ack on the origin guarantees the freshest surviving
+// replica holds every acknowledged operation. Finding no replica is
+// not fatal — the slot comes up empty, the pre-replication behavior —
+// but it is counted, because with replication enabled it means the
+// queues died with the server.
+func (s *Supervisor) restoreLog(deadSlot int, spareAddr string) {
+	addrs := s.mem.Addrs()
+	var best *staging.ReplState
+	minSeq, maxSeq := int64(-1), int64(-1)
+	for i, addr := range addrs {
+		if i == deadSlot {
+			continue
+		}
+		conn, err := s.tr.Dial(addr)
+		if err != nil {
+			continue
+		}
+		raw, err := conn.Call(staging.ReplFetchReq{Slot: deadSlot})
+		conn.Close()
+		if err != nil {
+			continue
+		}
+		resp, ok := raw.(staging.ReplFetchResp)
+		if !ok || !resp.Found {
+			continue
+		}
+		if minSeq < 0 || resp.State.Seq < minSeq {
+			minSeq = resp.State.Seq
+		}
+		if resp.State.Seq > maxSeq {
+			maxSeq = resp.State.Seq
+			st := resp.State
+			best = &st
+		}
+	}
+	if best == nil {
+		s.reg.Counter("recovery.log_missing").Inc()
+		return
+	}
+	conn, err := s.tr.Dial(spareAddr)
+	if err != nil {
+		s.reg.Counter("recovery.failed_log_restores").Inc()
+		return
+	}
+	defer conn.Close()
+	if _, err := conn.Call(staging.WlogInstallReq{Slot: deadSlot, State: *best}); err != nil {
+		s.reg.Counter("recovery.failed_log_restores").Inc()
+		return
+	}
+	restored := int64(len(best.Wlog))
+	for _, o := range best.Objects {
+		restored += int64(len(o.Data))
+	}
+	s.reg.Counter("recovery.log_restores").Inc()
+	s.reg.Counter("recovery.log_records").Add(best.Seq)
+	s.reg.Counter("recovery.log_bytes").Add(restored)
+	s.reg.Counter("recovery.log_lag").Add(maxSeq - minSeq)
 }
 
 // pushView installs the new membership on every member, including the

@@ -59,6 +59,10 @@ type Config struct {
 	// rejected with a budget error — staging memory is a hard resource
 	// on real machines.
 	MemoryBudgetPerServer int64
+	// WlogReplicas is the number of peer servers each server ships its
+	// event-log mutations to (K membership successors). 0 disables log
+	// replication: the recovery metadata then dies with its server.
+	WlogReplicas int
 }
 
 // Pool is a client-side view of a staging group: the spatial index plus
@@ -399,20 +403,32 @@ func (c *Client) GetWithLog(name string, version int64, bbox domain.BBox) ([]byt
 // pass, so the aggregate is a lower bound under transient faults. The
 // checkpoint itself is safe to re-apply: re-marking the same log
 // position is a no-op.
+//
+// The mark is best-effort per server: a failed server does not stop the
+// remaining servers from being marked (narrowing the torn-checkpoint
+// window a fail-stop mid-check opens), but the first error is still
+// returned so the caller knows the checkpoint cut is incomplete.
 func (c *Client) WorkflowCheck() (int64, error) {
 	var freed int64
+	var firstErr error
 	for s := range c.conns {
 		raw, err := c.call(s, CheckpointReq{App: c.app})
 		if err != nil {
-			return freed, wrapCall(err, "checkpoint on server %d", s)
+			if firstErr == nil {
+				firstErr = wrapCall(err, "checkpoint on server %d", s)
+			}
+			continue
 		}
 		resp, err := respAs[CheckpointResp](raw, "checkpoint")
 		if err != nil {
-			return freed, err
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
 		}
 		freed += resp.FreedBytes
 	}
-	return freed, nil
+	return freed, firstErr
 }
 
 // WorkflowRestart rebuilds the staging client and switches this rank
@@ -426,12 +442,22 @@ func (c *Client) WorkflowCheck() (int64, error) {
 // but a response lost after the server processed the request can make
 // the reported count reflect the re-executed call.
 func (c *Client) WorkflowRestart() (int, error) {
+	return c.WorkflowRestartFrom(0)
+}
+
+// WorkflowRestartFrom is WorkflowRestart for a component whose restored
+// durable checkpoint covers every event version <= covered (0 means no
+// coverage information). Servers drop the covered prefix from the
+// replay window before generating the script, so a workflow_check mark
+// torn by a server fail-stop (some servers marked, some not, the
+// component's own checkpoint durable) cannot make replay diverge.
+func (c *Client) WorkflowRestartFrom(covered int64) (int, error) {
 	if err := c.Reconnect(); err != nil {
 		return 0, err
 	}
 	total := 0
 	for s := range c.conns {
-		raw, err := c.call(s, RecoveryReq{App: c.app})
+		raw, err := c.call(s, RecoveryReq{App: c.app, Covered: covered})
 		if err != nil {
 			return total, wrapCall(err, "recovery on server %d", s)
 		}
@@ -492,6 +518,10 @@ func (c *Client) Stats() (StatsResp, error) {
 		agg.PutNanos += st.PutNanos
 		agg.RebuiltShards += st.RebuiltShards
 		agg.RebuiltBytes += st.RebuiltBytes
+		agg.ReplSeq += st.ReplSeq
+		agg.ReplicaSlots += st.ReplicaSlots
+		agg.ReplicaBytes += st.ReplicaBytes
+		agg.ReplicaRecords += st.ReplicaRecords
 		if st.Epoch > agg.Epoch {
 			agg.Epoch = st.Epoch
 		}

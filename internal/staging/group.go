@@ -58,6 +58,8 @@ func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, erro
 		if a, ok := closer.(interface{ Addr() string }); ok {
 			addr = a.Addr()
 		}
+		srv.SetAddr(addr)
+		srv.EnableReplication(tr, cfg.WlogReplicas)
 		g.servers[i] = srv
 		g.closers[i] = closer
 		addrs[i] = addr
@@ -105,6 +107,10 @@ func (g *Group) AddSpare() (string, error) {
 	if a, ok := closer.(interface{ Addr() string }); ok {
 		addr = a.Addr()
 	}
+	srv.SetAddr(addr)
+	// Spares replicate too once promoted into the membership; until then
+	// their slot is unresolved and the replicator stays idle.
+	srv.EnableReplication(g.tr, g.Pool.cfg.WlogReplicas)
 	g.mu.Lock()
 	g.spares = append(g.spares, spareEntry{srv: srv, addr: addr, closer: closer})
 	g.mu.Unlock()
@@ -225,10 +231,17 @@ func (g *Group) Addrs() []string {
 func (g *Group) Close() error {
 	g.mu.Lock()
 	closers := append([]io.Closer(nil), g.closers...)
+	servers := append([]*Server(nil), g.servers...)
 	for _, e := range g.spares {
 		closers = append(closers, e.closer)
+		servers = append(servers, e.srv)
 	}
 	g.mu.Unlock()
+	for _, srv := range servers {
+		if srv != nil {
+			srv.StopReplication()
+		}
+	}
 	var first error
 	for _, c := range closers {
 		if err := c.Close(); err != nil && first == nil {

@@ -12,6 +12,8 @@ import (
 	"encoding/gob"
 
 	"gospaces/internal/domain"
+	"gospaces/internal/locks"
+	"gospaces/internal/wlog"
 )
 
 // Piece is one stored array fragment: a bbox and its row-major payload.
@@ -70,9 +72,13 @@ type CheckpointResp struct {
 }
 
 // RecoveryReq notifies the staging server that a component restarted
-// from its last checkpoint (workflow_restart in Table I).
+// from its last checkpoint (workflow_restart in Table I). Covered, when
+// positive, is the highest event version the component's durable
+// checkpoint folds in: the server drops covered events from the replay
+// window, healing a workflow_check torn by a server fail-stop mid-mark.
 type RecoveryReq struct {
-	App string
+	App     string
+	Covered int64
 }
 
 // RecoveryResp summarizes the replay script generated for the component.
@@ -193,6 +199,138 @@ type LockReq struct {
 // LockResp acknowledges a lock operation.
 type LockResp struct{}
 
+// LockRecord is one completed lock-server operation in the
+// log-replication stream: the state transition (when Ok) plus the
+// dedup outcome, so a promoted spare answers retried lock RPCs exactly
+// like the dead server would have.
+type LockRecord struct {
+	Name    string
+	Holder  string
+	Write   bool
+	Release bool
+	// ReleaseAll drops every lock and the dedup entry of Holder (a
+	// component recovery); Name/Write/Release are ignored.
+	ReleaseAll bool
+	// Seq is the holder's lock-operation sequence number (0 = no dedup).
+	Seq uint64
+	// Ok is true when the operation succeeded and its state transition
+	// must be applied; Err carries the failure outcome otherwise.
+	Ok  bool
+	Err string
+}
+
+// ReplRecord is one mutation of a staging server's replicated state —
+// an event-log record (with the put payload, so replay reads survive
+// the origin server), or a lock-server record. Seq orders the stream.
+type ReplRecord struct {
+	Seq  int64
+	Wlog *wlog.Record
+	// Put payload, carried on Wlog OpPut records so a restored server
+	// can serve replay reads without the dead origin.
+	Data     []byte
+	ElemSize int
+	CRC      uint32
+	Lock     *LockRecord
+}
+
+// LockMirrorState is the exported lock-server state at one stream
+// position: the held-lock table plus the per-holder dedup outcomes.
+type LockMirrorState struct {
+	Held  []locks.HeldLock
+	Dedup []LockOutcome
+}
+
+// LockOutcome is one holder's latest deduplicated lock operation.
+type LockOutcome struct {
+	Holder  string
+	Seq     uint64
+	Name    string
+	Write   bool
+	Release bool
+	Ok      bool
+	Err     string
+}
+
+// ReplState is a full snapshot of a server's replicated state: the
+// event-log codec bytes, the logged objects, and (on the lock server)
+// the lock mirror — everything a spare needs to take the slot over.
+type ReplState struct {
+	Seq      int64
+	Wlog     []byte
+	Objects  []ReplObject
+	Locks    LockMirrorState
+	HasLocks bool
+}
+
+// ReplObject is one logged object payload in a replication snapshot.
+type ReplObject struct {
+	Name     string
+	Version  int64
+	BBox     domain.BBox
+	ElemSize int
+	Data     []byte
+	CRC      uint32
+}
+
+// ReplApplyReq ships a batch of replication records from the origin of
+// Slot to a peer. Epoch fences the stream: a receiver holding a newer
+// membership epoch rejects the batch, so an origin from a prior view
+// (a zombie predecessor of a promoted spare) cannot corrupt replicas.
+type ReplApplyReq struct {
+	Epoch   uint64
+	Slot    int
+	Records []ReplRecord
+}
+
+// ReplApplyResp acknowledges a batch. NeedSnapshot asks the origin to
+// re-sync with a full ReplSnapshotReq (the receiver saw a sequence
+// gap, e.g. it is a freshly promoted spare with no history).
+type ReplApplyResp struct {
+	NeedSnapshot bool
+	Seq          int64
+}
+
+// ReplSnapshotReq installs a full replica snapshot of Slot on a peer,
+// fenced by Epoch like ReplApplyReq.
+type ReplSnapshotReq struct {
+	Epoch uint64
+	Slot  int
+	State ReplState
+}
+
+// ReplSnapshotResp acknowledges a snapshot install.
+type ReplSnapshotResp struct {
+	Seq int64
+}
+
+// ReplFetchReq asks a server for the replica it hosts of Slot's state;
+// the recovery supervisor queries survivors and restores the freshest
+// answer onto the spare it promotes.
+type ReplFetchReq struct {
+	Slot int
+}
+
+// ReplFetchResp returns the hosted replica (Found=false when this
+// server holds none).
+type ReplFetchResp struct {
+	Found bool
+	Epoch uint64
+	State ReplState
+}
+
+// WlogInstallReq restores a replicated state snapshot onto the
+// receiving server itself (a promoted spare taking over Slot), as
+// opposed to ReplSnapshotReq which updates a hosted peer replica.
+type WlogInstallReq struct {
+	Slot  int
+	State ReplState
+}
+
+// WlogInstallResp acknowledges the restore.
+type WlogInstallResp struct {
+	Records int64
+}
+
 // TraceReq fetches the server's recent protocol trace.
 type TraceReq struct {
 	// Limit caps the records returned (0 = all retained).
@@ -226,6 +364,13 @@ type StatsResp struct {
 	RebuiltShards int64
 	RebuiltBytes  int64
 	Epoch         uint64
+	// Log-replication accounting: the origin-side stream position
+	// (records emitted for this server's own slot), and the replica
+	// state hosted for peer slots.
+	ReplSeq        int64
+	ReplicaSlots   int
+	ReplicaBytes   int64
+	ReplicaRecords int64
 }
 
 func init() {
@@ -258,4 +403,12 @@ func init() {
 	gob.Register(TraceResp{})
 	gob.Register(StatsReq{})
 	gob.Register(StatsResp{})
+	gob.Register(ReplApplyReq{})
+	gob.Register(ReplApplyResp{})
+	gob.Register(ReplSnapshotReq{})
+	gob.Register(ReplSnapshotResp{})
+	gob.Register(ReplFetchReq{})
+	gob.Register(ReplFetchResp{})
+	gob.Register(WlogInstallReq{})
+	gob.Register(WlogInstallResp{})
 }

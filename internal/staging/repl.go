@@ -1,0 +1,715 @@
+package staging
+
+import (
+	"fmt"
+	"sync"
+
+	"gospaces/internal/locks"
+	"gospaces/internal/store"
+	"gospaces/internal/transport"
+	"gospaces/internal/wlog"
+)
+
+// This file implements crash consistency for the recovery metadata
+// itself: each staging server ships every mutation of its event log
+// (and, on the lock server, of the lock tables) to K peer servers, so
+// that when the server fail-stops, the recovery supervisor can restore
+// its log state onto a promoted spare from the freshest replica and
+// workflow_restart keeps working — the queues no longer die with the
+// server. The stream is fenced by membership epochs: a replica holding
+// a newer epoch rejects batches from an origin with a prior view.
+
+// lockMirror is the deterministic lock-server state machine driven by
+// LockRecords. The origin updates its mirror at record-emission time
+// (under the replicator mutex, atomically with sequence assignment),
+// and replicas apply the same records in sequence order, so mirror
+// state at an equal sequence number is identical on both ends — which
+// is what makes mid-stream snapshots consistent without quiescing the
+// (blocking) lock manager itself.
+type lockMirror struct {
+	writers map[string]string         // name -> writer
+	readers map[string]map[string]int // name -> holder -> recursion count
+	dedup   map[string]LockOutcome    // holder -> latest deduplicated op
+}
+
+func newLockMirror() *lockMirror {
+	return &lockMirror{
+		writers: make(map[string]string),
+		readers: make(map[string]map[string]int),
+		dedup:   make(map[string]LockOutcome),
+	}
+}
+
+// apply folds one lock record into the mirror. Transitions are guarded
+// so that cross-holder records that completed concurrently on the
+// origin (and may be sequenced either way) still converge.
+func (m *lockMirror) apply(r *LockRecord) {
+	if r.ReleaseAll {
+		for name, w := range m.writers {
+			if w == r.Holder {
+				delete(m.writers, name)
+			}
+		}
+		for _, hs := range m.readers {
+			delete(hs, r.Holder)
+		}
+		delete(m.dedup, r.Holder)
+		return
+	}
+	if r.Seq != 0 {
+		m.dedup[r.Holder] = LockOutcome{
+			Holder: r.Holder, Seq: r.Seq, Name: r.Name,
+			Write: r.Write, Release: r.Release, Ok: r.Ok, Err: r.Err,
+		}
+	}
+	if !r.Ok {
+		return
+	}
+	switch {
+	case r.Write && !r.Release:
+		m.writers[r.Name] = r.Holder
+	case r.Write && r.Release:
+		if m.writers[r.Name] == r.Holder {
+			delete(m.writers, r.Name)
+		}
+	case !r.Write && !r.Release:
+		hs, ok := m.readers[r.Name]
+		if !ok {
+			hs = make(map[string]int)
+			m.readers[r.Name] = hs
+		}
+		hs[r.Holder]++
+	default: // read release
+		if hs, ok := m.readers[r.Name]; ok && hs[r.Holder] > 0 {
+			hs[r.Holder]--
+			if hs[r.Holder] == 0 {
+				delete(hs, r.Holder)
+			}
+		}
+	}
+}
+
+// export renders the mirror in deterministic order.
+func (m *lockMirror) export() LockMirrorState {
+	st := LockMirrorState{}
+	names := map[string]bool{}
+	for n := range m.writers {
+		names[n] = true
+	}
+	for n, hs := range m.readers {
+		if len(hs) > 0 {
+			names[n] = true
+		}
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sortStrings(sorted)
+	for _, n := range sorted {
+		h := locks.HeldLock{Name: n, Writer: m.writers[n]}
+		holders := make([]string, 0, len(m.readers[n]))
+		for r := range m.readers[n] {
+			holders = append(holders, r)
+		}
+		sortStrings(holders)
+		for _, r := range holders {
+			h.Readers = append(h.Readers, locks.ReaderCount{Holder: r, Count: m.readers[n][r]})
+		}
+		st.Held = append(st.Held, h)
+	}
+	holders := make([]string, 0, len(m.dedup))
+	for h := range m.dedup {
+		holders = append(holders, h)
+	}
+	sortStrings(holders)
+	for _, h := range holders {
+		st.Dedup = append(st.Dedup, m.dedup[h])
+	}
+	return st
+}
+
+// importState replaces the mirror with st.
+func (m *lockMirror) importState(st LockMirrorState) {
+	m.writers = make(map[string]string)
+	m.readers = make(map[string]map[string]int)
+	m.dedup = make(map[string]LockOutcome)
+	for _, h := range st.Held {
+		if h.Writer != "" {
+			m.writers[h.Name] = h.Writer
+		}
+		for _, r := range h.Readers {
+			if r.Count > 0 {
+				hs, ok := m.readers[h.Name]
+				if !ok {
+					hs = make(map[string]int)
+					m.readers[h.Name] = hs
+				}
+				hs[r.Holder] = r.Count
+			}
+		}
+	}
+	for _, o := range st.Dedup {
+		m.dedup[o.Holder] = o
+	}
+}
+
+// peerConn is the origin's cached link to one replica peer.
+type peerConn struct {
+	conn transport.Client
+	// needSnap is set after any failed call to this peer: the next ship
+	// first re-syncs the peer with a full snapshot.
+	needSnap bool
+}
+
+// replicator is the origin side of log replication for one server: a
+// sequenced queue of ReplRecords plus a background sender that ships
+// them, in order, to the K membership successors of the server's slot.
+// Handlers block in flush until their records are shipped (or the
+// peer failure is recorded), so an acknowledged operation is on every
+// reachable replica — the synchronous semantics a recovery metadata
+// store needs.
+type replicator struct {
+	srv *Server
+	tr  transport.Transport
+	k   int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	seq     int64 // last sequence number assigned
+	shipped int64 // last sequence number the sender has dealt with
+	queue   []ReplRecord
+	mirror  *lockMirror
+	closed  bool
+
+	peers map[string]*peerConn
+}
+
+func newReplicator(srv *Server, tr transport.Transport, k int) *replicator {
+	r := &replicator{
+		srv:    srv,
+		tr:     tr,
+		k:      k,
+		mirror: newLockMirror(),
+		peers:  make(map[string]*peerConn),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	go r.sender()
+	return r
+}
+
+// enqueue assigns the next sequence number to rec and queues it for
+// shipment, folding lock records into the origin mirror atomically
+// with sequence assignment.
+func (r *replicator) enqueue(rec ReplRecord) int64 {
+	r.mu.Lock()
+	r.seq++
+	rec.Seq = r.seq
+	if rec.Lock != nil {
+		r.mirror.apply(rec.Lock)
+	}
+	r.queue = append(r.queue, rec)
+	r.mu.Unlock()
+	r.cond.Broadcast()
+	return rec.Seq
+}
+
+// flush blocks until the sender has dealt with every record up to seq.
+func (r *replicator) flush(seq int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.shipped < seq && !r.closed {
+		r.cond.Wait()
+	}
+}
+
+// setState is called when a WlogInstall restores this server's state
+// from a replica: the stream continues from the restored position.
+func (r *replicator) setState(seq int64, locks LockMirrorState) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seq = seq
+	r.shipped = seq
+	r.queue = nil
+	r.mirror.importState(locks)
+}
+
+// position returns the last assigned sequence number.
+func (r *replicator) position() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq
+}
+
+// close stops the sender goroutine and unblocks flushers.
+func (r *replicator) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.cond.Broadcast()
+}
+
+func (r *replicator) sender() {
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if r.closed {
+			r.mu.Unlock()
+			return
+		}
+		batch := r.queue
+		r.queue = nil
+		r.mu.Unlock()
+
+		r.ship(batch)
+
+		r.mu.Lock()
+		r.shipped = batch[len(batch)-1].Seq
+		r.mu.Unlock()
+		r.cond.Broadcast()
+	}
+}
+
+// ship sends one batch to every current replica peer, re-syncing peers
+// that fell behind (or are fresh promotions) with a full snapshot. A
+// peer failure marks the peer for re-sync and is counted, but does not
+// fail the origin's operation: replica count degrades until the
+// membership heals, exactly like the data-redundancy layer.
+func (r *replicator) ship(batch []ReplRecord) {
+	epoch, slot, targets := r.srv.replicaTargets(r.k)
+	if slot < 0 || len(targets) == 0 {
+		return
+	}
+	req := ReplApplyReq{Epoch: epoch, Slot: slot, Records: batch}
+	for _, addr := range targets {
+		p, err := r.peer(addr)
+		if err != nil {
+			r.srv.reg.Counter("repl_peer_errors").Inc()
+			continue
+		}
+		if p.needSnap {
+			if !r.sendSnapshot(p, epoch, slot) {
+				continue
+			}
+			// The snapshot was built after this batch was enqueued, so it
+			// already covers it; the peer skips the duplicate records.
+		}
+		raw, err := p.conn.Call(req)
+		if err != nil {
+			r.dropPeer(addr)
+			r.srv.reg.Counter("repl_peer_errors").Inc()
+			continue
+		}
+		resp, ok := raw.(ReplApplyResp)
+		if !ok {
+			r.dropPeer(addr)
+			r.srv.reg.Counter("repl_peer_errors").Inc()
+			continue
+		}
+		if resp.NeedSnapshot {
+			r.sendSnapshot(p, epoch, slot)
+		}
+	}
+	r.srv.reg.Counter("repl_records_shipped").Add(int64(len(batch)))
+}
+
+func (r *replicator) sendSnapshot(p *peerConn, epoch uint64, slot int) bool {
+	state, err := r.srv.buildReplState()
+	if err != nil {
+		r.srv.reg.Counter("repl_peer_errors").Inc()
+		return false
+	}
+	if _, err := p.conn.Call(ReplSnapshotReq{Epoch: epoch, Slot: slot, State: state}); err != nil {
+		p.needSnap = true
+		r.srv.reg.Counter("repl_peer_errors").Inc()
+		return false
+	}
+	p.needSnap = false
+	r.srv.reg.Counter("repl_snapshots_sent").Inc()
+	return true
+}
+
+// peer returns the cached connection to addr, dialling on first use.
+// A fresh peer starts in needSnap state: the origin cannot know what
+// the peer already holds, so it re-syncs before streaming.
+func (r *replicator) peer(addr string) (*peerConn, error) {
+	r.mu.Lock()
+	p, ok := r.peers[addr]
+	r.mu.Unlock()
+	if ok {
+		return p, nil
+	}
+	conn, err := r.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	p = &peerConn{conn: conn, needSnap: true}
+	r.mu.Lock()
+	r.peers[addr] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+func (r *replicator) dropPeer(addr string) {
+	r.mu.Lock()
+	p, ok := r.peers[addr]
+	delete(r.peers, addr)
+	r.mu.Unlock()
+	if ok {
+		p.conn.Close()
+	}
+}
+
+// slotReplica is one hosted replica of a peer server's state.
+type slotReplica struct {
+	mu     sync.Mutex
+	epoch  uint64
+	seq    int64
+	log    *wlog.Log
+	store  *store.Store
+	mirror *lockMirror
+	// applied counts records folded in, for accounting.
+	applied int64
+}
+
+// replicaSet is the receiver side: the replicas this server hosts for
+// peer slots.
+type replicaSet struct {
+	mu    sync.Mutex
+	slots map[int]*slotReplica
+}
+
+func newReplicaSet() *replicaSet {
+	return &replicaSet{slots: make(map[int]*slotReplica)}
+}
+
+func (rs *replicaSet) slot(id int) *slotReplica {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rep, ok := rs.slots[id]
+	if !ok {
+		rep = &slotReplica{log: wlog.New(), store: store.New(), mirror: newLockMirror()}
+		rs.slots[id] = rep
+	}
+	return rep
+}
+
+// stats returns (slots hosted, replica store bytes, records applied).
+func (rs *replicaSet) stats() (int, int64, int64) {
+	rs.mu.Lock()
+	slots := make([]*slotReplica, 0, len(rs.slots))
+	for _, rep := range rs.slots {
+		slots = append(slots, rep)
+	}
+	rs.mu.Unlock()
+	var bytes, applied int64
+	for _, rep := range slots {
+		rep.mu.Lock()
+		bytes += rep.store.BytesUsed()
+		applied += rep.applied
+		rep.mu.Unlock()
+	}
+	return len(slots), bytes, applied
+}
+
+// applyRecord folds one stream record into the replica. Caller holds
+// rep.mu.
+func (rep *slotReplica) applyRecord(rec ReplRecord) error {
+	if rec.Wlog != nil {
+		if rec.Wlog.Op == wlog.OpPut && rec.Data != nil {
+			obj := &store.Object{
+				Name:     rec.Wlog.Name,
+				Version:  rec.Wlog.Version,
+				BBox:     rec.Wlog.BBox,
+				ElemSize: rec.ElemSize,
+				Data:     rec.Data,
+				CRC:      rec.CRC,
+				Logged:   true,
+			}
+			if err := rep.store.Put(obj); err != nil {
+				return err
+			}
+		}
+		if err := rep.log.Apply(*rec.Wlog); err != nil {
+			return err
+		}
+		if rec.Wlog.Op == wlog.OpCheckpoint {
+			// Mirror the origin's end-of-cycle GC so the replica's
+			// payload footprint stays bounded by the same frontier.
+			for _, name := range rep.store.Names() {
+				rep.store.DropBelow(name, rep.log.PayloadFrontier(name), true)
+			}
+		}
+	}
+	if rec.Lock != nil {
+		rep.mirror.apply(rec.Lock)
+	}
+	rep.applied++
+	return nil
+}
+
+// install replaces the replica's state with a full snapshot.
+func (rep *slotReplica) install(epoch uint64, st ReplState) error {
+	log := wlog.New()
+	if err := log.Restore(st.Wlog); err != nil {
+		return err
+	}
+	str := store.New()
+	if err := str.Import(importObjects(st.Objects)); err != nil {
+		return err
+	}
+	mirror := newLockMirror()
+	if st.HasLocks {
+		mirror.importState(st.Locks)
+	}
+	rep.log = log
+	rep.store = str
+	rep.mirror = mirror
+	rep.seq = st.Seq
+	if epoch > rep.epoch {
+		rep.epoch = epoch
+	}
+	return nil
+}
+
+// export renders the replica as a ReplState for the recovery
+// supervisor's restore pass. Caller holds rep.mu.
+func (rep *slotReplica) export() (ReplState, error) {
+	wl, err := rep.log.Snapshot()
+	if err != nil {
+		return ReplState{}, err
+	}
+	st := ReplState{Seq: rep.seq, Wlog: wl, Objects: exportObjects(rep.store.Export())}
+	lockState := rep.mirror.export()
+	if len(lockState.Held) > 0 || len(lockState.Dedup) > 0 {
+		st.Locks = lockState
+		st.HasLocks = true
+	}
+	return st, nil
+}
+
+func exportObjects(objs []*store.Object) []ReplObject {
+	out := make([]ReplObject, 0, len(objs))
+	for _, o := range objs {
+		if !o.Logged {
+			continue
+		}
+		out = append(out, ReplObject{
+			Name: o.Name, Version: o.Version, BBox: o.BBox,
+			ElemSize: o.ElemSize, Data: o.Data, CRC: o.CRC,
+		})
+	}
+	return out
+}
+
+func importObjects(objs []ReplObject) []*store.Object {
+	out := make([]*store.Object, 0, len(objs))
+	for _, o := range objs {
+		out = append(out, &store.Object{
+			Name: o.Name, Version: o.Version, BBox: o.BBox,
+			ElemSize: o.ElemSize, Data: o.Data, CRC: o.CRC, Logged: true,
+		})
+	}
+	return out
+}
+
+// --- Server-side wiring ---
+
+// SetAddr records the server's own bound address; the replicator uses
+// it to locate the server's slot in the membership view.
+func (s *Server) SetAddr(addr string) {
+	s.memberMu.Lock()
+	s.addr = addr
+	s.memberMu.Unlock()
+}
+
+// EnableReplication turns on log replication to k membership
+// successors, shipped over tr. Call before serving traffic.
+func (s *Server) EnableReplication(tr transport.Transport, k int) {
+	if k <= 0 {
+		return
+	}
+	s.repl = newReplicator(s, tr, k)
+}
+
+// StopReplication stops the replication sender (server shutdown).
+func (s *Server) StopReplication() {
+	if s.repl != nil {
+		s.repl.close()
+	}
+}
+
+// replicaTargets resolves the current epoch, the server's slot in the
+// membership, and the addresses of its k successors (its replica
+// peers). Slot -1 means the server is not (yet) a member — a spare —
+// and has nowhere to replicate to.
+func (s *Server) replicaTargets(k int) (epoch uint64, slot int, targets []string) {
+	s.memberMu.Lock()
+	epoch = s.epoch
+	addrs := s.memberAddrs
+	self := s.addr
+	s.memberMu.Unlock()
+	slot = -1
+	for i, a := range addrs {
+		if a == self && self != "" {
+			slot = i
+			break
+		}
+	}
+	if slot < 0 {
+		return epoch, -1, nil
+	}
+	for i := 1; i <= k && i < len(addrs); i++ {
+		targets = append(targets, addrs[(slot+i)%len(addrs)])
+	}
+	return epoch, slot, targets
+}
+
+// emit queues one replication record (no-op when replication is off)
+// and returns its sequence number (0 when off).
+func (s *Server) emit(rec ReplRecord) int64 {
+	if s.repl == nil {
+		return 0
+	}
+	return s.repl.enqueue(rec)
+}
+
+// flushRepl blocks until record seq is shipped (no-op for seq 0).
+func (s *Server) flushRepl(seq int64) {
+	if seq > 0 && s.repl != nil {
+		s.repl.flush(seq)
+	}
+}
+
+// buildReplState snapshots the server's own replicated state at the
+// current stream position. It takes replMu (quiescing log/store
+// mutations) and then the replicator mutex (pinning the sequence
+// number and lock mirror), the same order the handlers use.
+func (s *Server) buildReplState() (ReplState, error) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	var seq int64
+	var lockState LockMirrorState
+	hasLocks := false
+	if s.repl != nil {
+		s.repl.mu.Lock()
+		seq = s.repl.seq
+		lockState = s.repl.mirror.export()
+		hasLocks = len(lockState.Held) > 0 || len(lockState.Dedup) > 0
+		s.repl.mu.Unlock()
+	}
+	wl, err := s.log.Snapshot()
+	if err != nil {
+		return ReplState{}, err
+	}
+	return ReplState{
+		Seq:      seq,
+		Wlog:     wl,
+		Objects:  exportObjects(s.store.Export()),
+		Locks:    lockState,
+		HasLocks: hasLocks,
+	}, nil
+}
+
+func (s *Server) handleReplApply(r ReplApplyReq) (any, error) {
+	if epoch := s.Epoch(); r.Epoch < epoch {
+		s.reg.Counter("stale_epoch_rejects").Inc()
+		return nil, &StaleEpochError{Client: r.Epoch, Server: epoch}
+	}
+	rep := s.replicas.slot(r.Slot)
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if r.Epoch < rep.epoch {
+		s.reg.Counter("stale_epoch_rejects").Inc()
+		return nil, &StaleEpochError{Client: r.Epoch, Server: rep.epoch}
+	}
+	rep.epoch = r.Epoch
+	for _, rec := range r.Records {
+		if rec.Seq <= rep.seq {
+			continue // duplicate after a snapshot re-sync
+		}
+		if rec.Seq != rep.seq+1 {
+			return ReplApplyResp{NeedSnapshot: true, Seq: rep.seq}, nil
+		}
+		if err := rep.applyRecord(rec); err != nil {
+			return nil, fmt.Errorf("staging: replica slot %d apply seq %d: %w", r.Slot, rec.Seq, err)
+		}
+		rep.seq = rec.Seq
+	}
+	return ReplApplyResp{Seq: rep.seq}, nil
+}
+
+func (s *Server) handleReplSnapshot(r ReplSnapshotReq) (any, error) {
+	if epoch := s.Epoch(); r.Epoch < epoch {
+		s.reg.Counter("stale_epoch_rejects").Inc()
+		return nil, &StaleEpochError{Client: r.Epoch, Server: epoch}
+	}
+	rep := s.replicas.slot(r.Slot)
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	if r.Epoch < rep.epoch {
+		s.reg.Counter("stale_epoch_rejects").Inc()
+		return nil, &StaleEpochError{Client: r.Epoch, Server: rep.epoch}
+	}
+	if err := rep.install(r.Epoch, r.State); err != nil {
+		return nil, fmt.Errorf("staging: replica slot %d install: %w", r.Slot, err)
+	}
+	s.reg.Counter("replica_snapshots_installed").Inc()
+	return ReplSnapshotResp{Seq: rep.seq}, nil
+}
+
+func (s *Server) handleReplFetch(r ReplFetchReq) (any, error) {
+	s.replicas.mu.Lock()
+	rep, ok := s.replicas.slots[r.Slot]
+	s.replicas.mu.Unlock()
+	if !ok {
+		return ReplFetchResp{}, nil
+	}
+	rep.mu.Lock()
+	defer rep.mu.Unlock()
+	st, err := rep.export()
+	if err != nil {
+		return nil, fmt.Errorf("staging: replica slot %d export: %w", r.Slot, err)
+	}
+	return ReplFetchResp{Found: true, Epoch: rep.epoch, State: st}, nil
+}
+
+// handleWlogInstall restores a replicated state snapshot onto this
+// server itself: the promoted spare adopts the dead server's event
+// log, logged payloads, lock table and dedup outcomes, and continues
+// the replication stream from the restored position.
+func (s *Server) handleWlogInstall(r WlogInstallReq) (any, error) {
+	s.replMu.Lock()
+	defer s.replMu.Unlock()
+	if err := s.log.Restore(r.State.Wlog); err != nil {
+		return nil, fmt.Errorf("staging: install slot %d: %w", r.Slot, err)
+	}
+	if err := s.store.Import(importObjects(r.State.Objects)); err != nil {
+		return nil, fmt.Errorf("staging: install slot %d objects: %w", r.Slot, err)
+	}
+	if r.State.HasLocks {
+		s.locks.Import(r.State.Locks.Held)
+		s.lockMu.Lock()
+		s.lockOps = make(map[string]*lockAttempt)
+		for _, o := range r.State.Locks.Dedup {
+			kind := locks.Read
+			if o.Write {
+				kind = locks.Write
+			}
+			a := &lockAttempt{seq: o.Seq, name: o.Name, kind: kind, release: o.Release, done: make(chan struct{})}
+			if !o.Ok {
+				a.err = fmt.Errorf("locks: %s", o.Err)
+			}
+			close(a.done)
+			s.lockOps[o.Holder] = a
+		}
+		s.lockMu.Unlock()
+	}
+	if s.repl != nil {
+		s.repl.setState(r.State.Seq, r.State.Locks)
+	}
+	s.reg.Counter("log_installs").Inc()
+	return WlogInstallResp{Records: r.State.Seq}, nil
+}

@@ -1,0 +1,76 @@
+package staging
+
+import (
+	"fmt"
+	"testing"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/transport"
+)
+
+// The replication-overhead benchmarks behind the EXPERIMENTS.md
+// log-replication row: logged put/get latency through a 3-server
+// in-process group with K = 0, 1, 2 wlog replicas. K > 0 pays one
+// synchronous flush-before-ack round to each successor; puts also ship
+// the payload on the stream.
+
+func benchGroup(b *testing.B, k int) (*Group, *Client, *Client, domain.BBox) {
+	b.Helper()
+	g, err := StartGroup(transport.NewInProc(), "stage", Config{
+		Global:       domain.Box3(0, 0, 0, 31, 31, 15),
+		NServers:     3,
+		Bits:         2,
+		ElemSize:     8,
+		WlogReplicas: k,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { g.Close() })
+	prod, err := g.NewClient("sim/0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { prod.Close() })
+	cons, err := g.NewClient("ana/0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cons.Close() })
+	return g, prod, cons, g.Config().Global
+}
+
+func BenchmarkLoggedPut(b *testing.B) {
+	for _, k := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			_, prod, _, global := benchGroup(b, k)
+			data := fill(domain.BufLen(global, 8), 1)
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := prod.PutWithLog("field", int64(i+1), global, data); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkLoggedGet(b *testing.B) {
+	for _, k := range []int{0, 1, 2} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			_, prod, cons, global := benchGroup(b, k)
+			data := fill(domain.BufLen(global, 8), 1)
+			if err := prod.PutWithLog("field", 1, global, data); err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := cons.GetWithLog("field", 1, global); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -49,11 +49,23 @@ type Server struct {
 
 	// memberMu guards the server's membership view: the epoch it has
 	// been told about (0 until the first EpochSet), the member
-	// addresses, and whether it is still a spare outside the membership.
+	// addresses, the server's own bound address, and whether it is
+	// still a spare outside the membership.
 	memberMu    sync.Mutex
 	epoch       uint64
 	memberAddrs []string
+	addr        string
 	spare       bool
+
+	// Log replication (repl.go). repl is the origin side (nil when
+	// disabled); replicas holds the peer-slot replicas this server
+	// hosts; replMu serializes logged-path log/store mutations with
+	// record emission so the stream order equals the mutation order —
+	// it is only taken when replication is enabled, keeping the
+	// unreplicated path lock-free.
+	repl     *replicator
+	replicas *replicaSet
+	replMu   sync.Mutex
 }
 
 // lockAttempt records the latest lock RPC admitted for one holder. Lock
@@ -77,14 +89,15 @@ type lockAttempt struct {
 // NewServer creates staging server id.
 func NewServer(id int) *Server {
 	return &Server{
-		id:      id,
-		store:   store.New(),
-		log:     wlog.New(),
-		reg:     metrics.NewRegistry(),
-		locks:   locks.NewManager(),
-		trace:   trace.New(512),
-		lockOps: make(map[string]*lockAttempt),
-		shards:  make(map[string]map[int][]byte),
+		id:       id,
+		store:    store.New(),
+		log:      wlog.New(),
+		reg:      metrics.NewRegistry(),
+		locks:    locks.NewManager(),
+		trace:    trace.New(512),
+		lockOps:  make(map[string]*lockAttempt),
+		shards:   make(map[string]map[int][]byte),
+		replicas: newReplicaSet(),
 	}
 }
 
@@ -171,6 +184,14 @@ func (s *Server) Handle(req any) (any, error) {
 		return s.handleShardKeys()
 	case LockReq:
 		return s.handleLock(r)
+	case ReplApplyReq:
+		return s.handleReplApply(r)
+	case ReplSnapshotReq:
+		return s.handleReplSnapshot(r)
+	case ReplFetchReq:
+		return s.handleReplFetch(r)
+	case WlogInstallReq:
+		return s.handleWlogInstall(r)
 	case TraceReq:
 		return s.handleTrace(r)
 	case ReduceReq:
@@ -202,15 +223,39 @@ func (s *Server) handlePut(r PutReq) (any, error) {
 				ErrOverBudget, s.store.BytesUsed(), len(r.Piece.Data), s.budget)
 		}
 	}
+	resp, seq, err := s.applyPut(r)
+	s.flushRepl(seq)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// applyPut performs the put's log and store mutations. With
+// replication enabled, logged puts run under replMu so the emitted
+// record order matches the mutation order; the returned sequence
+// number is flushed by the caller after replMu is released.
+func (s *Server) applyPut(r PutReq) (PutResp, int64, error) {
+	var seq int64
+	if r.Logged && s.repl != nil {
+		s.replMu.Lock()
+		defer s.replMu.Unlock()
+	}
 	if r.Logged {
+		wasReplaying := s.repl != nil && s.log.Replaying(r.App)
 		suppress, err := s.log.BeginPut(r.App, r.Name, r.Version, r.Piece.BBox)
 		if err != nil {
-			return nil, err
+			return PutResp{}, seq, err
+		}
+		if wasReplaying {
+			// The replay cursor moved (or replay ended): advance the
+			// replicas the same way.
+			seq = s.emit(ReplRecord{Wlog: &wlog.Record{Op: wlog.OpAdvance, App: r.App}})
 		}
 		if suppress {
 			s.reg.Counter("suppressed_puts").Inc()
 			s.trace.Add(trace.Record{Op: trace.OpSuppressedPut, App: r.App, Name: r.Name, Version: r.Version})
-			return PutResp{Suppressed: true}, nil
+			return PutResp{Suppressed: true}, seq, nil
 		}
 	}
 	// Ingest copy: the staging server owns its buffers (clients may
@@ -222,6 +267,7 @@ func (s *Server) handlePut(r PutReq) (any, error) {
 		BBox:     r.Piece.BBox,
 		ElemSize: r.ElemSize,
 		Data:     data,
+		Logged:   r.Logged,
 	}
 	if r.Logged {
 		// Logged payloads may be re-served long after ingest (replay);
@@ -229,29 +275,54 @@ func (s *Server) handlePut(r PutReq) (any, error) {
 		obj.CRC = crc32.Checksum(data, castagnoli)
 	}
 	if err := s.store.Put(obj); err != nil {
-		return nil, err
+		return PutResp{}, seq, err
 	}
 	if r.Logged {
 		s.log.CommitPut(r.App, r.Name, r.Version, r.Piece.BBox, obj.Bytes())
 		s.trace.Add(trace.Record{Op: trace.OpPut, App: r.App, Name: r.Name, Version: r.Version, Bytes: obj.Bytes()})
+		seq = s.emit(ReplRecord{
+			Wlog: &wlog.Record{
+				Op: wlog.OpPut, App: r.App, Name: r.Name,
+				Version: r.Version, BBox: r.Piece.BBox, Bytes: obj.Bytes(),
+			},
+			Data: data, ElemSize: r.ElemSize, CRC: obj.CRC,
+		})
 	} else {
 		// Original staging semantics: only the most recently put
 		// version is kept. Using the put version (not the max) lets a
 		// globally rolled-back workflow rewind the staged sequence.
 		s.store.KeepOnly(r.Name, r.Version)
 	}
-	return PutResp{}, nil
+	return PutResp{}, seq, nil
 }
 
 func (s *Server) handleGet(r GetReq) (any, error) {
 	s.reg.Counter("gets").Inc()
+	resp, seq, err := s.applyGet(r)
+	s.flushRepl(seq)
+	if err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (s *Server) applyGet(r GetReq) (GetResp, int64, error) {
+	var seq int64
+	if r.Logged && s.repl != nil {
+		s.replMu.Lock()
+		defer s.replMu.Unlock()
+	}
 	version := r.Version
 	fromLog := false
 	if r.Logged {
+		wasReplaying := s.repl != nil && s.log.Replaying(r.App)
 		var err error
 		version, fromLog, err = s.log.BeginGet(r.App, r.Name, r.Version, r.BBox)
 		if err != nil {
-			return nil, err
+			return GetResp{}, seq, err
+		}
+		if wasReplaying {
+			seq = s.emit(ReplRecord{Wlog: &wlog.Record{Op: wlog.OpAdvance, App: r.App}})
 		}
 		if fromLog {
 			s.reg.Counter("replay_gets").Inc()
@@ -261,19 +332,19 @@ func (s *Server) handleGet(r GetReq) (any, error) {
 	if version == NoVersion {
 		v, ok := s.store.LatestVersion(r.Name, -1)
 		if !ok {
-			return nil, fmt.Errorf("staging: get %q: no versions staged", r.Name)
+			return GetResp{}, seq, fmt.Errorf("staging: get %q: no versions staged", r.Name)
 		}
 		version = v
 	}
 	objs := s.store.GetVersion(r.Name, version, r.BBox)
 	if len(objs) == 0 {
-		return nil, fmt.Errorf("staging: get %q v%d %v: not staged on server %d", r.Name, version, r.BBox, s.id)
+		return GetResp{}, seq, fmt.Errorf("staging: get %q v%d %v: not staged on server %d", r.Name, version, r.BBox, s.id)
 	}
 	resp := GetResp{Version: version, FromLog: fromLog, Pieces: make([]Piece, 0, len(objs))}
 	var bytes int64
 	for _, o := range objs {
 		if fromLog && o.CRC != 0 && crc32.Checksum(o.Data, castagnoli) != o.CRC {
-			return nil, fmt.Errorf("staging: logged payload %q v%d %v failed integrity check", o.Name, o.Version, o.BBox)
+			return GetResp{}, seq, fmt.Errorf("staging: logged payload %q v%d %v failed integrity check", o.Name, o.Version, o.BBox)
 		}
 		resp.Pieces = append(resp.Pieces, Piece{BBox: o.BBox, Data: o.Data})
 		bytes += o.Bytes()
@@ -281,18 +352,33 @@ func (s *Server) handleGet(r GetReq) (any, error) {
 	if r.Logged && !fromLog {
 		s.log.CommitGet(r.App, r.Name, version, r.BBox, bytes)
 		s.trace.Add(trace.Record{Op: trace.OpGet, App: r.App, Name: r.Name, Version: version, Bytes: bytes})
+		seq = s.emit(ReplRecord{Wlog: &wlog.Record{
+			Op: wlog.OpGet, App: r.App, Name: r.Name,
+			Version: version, BBox: r.BBox, Bytes: bytes,
+		}})
 	}
-	return resp, nil
+	return resp, seq, nil
 }
 
 func (s *Server) handleCheckpoint(r CheckpointReq) (any, error) {
+	resp, seq := s.applyCheckpoint(r)
+	s.flushRepl(seq)
+	return resp, nil
+}
+
+func (s *Server) applyCheckpoint(r CheckpointReq) (CheckpointResp, int64) {
+	if s.repl != nil {
+		s.replMu.Lock()
+		defer s.replMu.Unlock()
+	}
 	chkID, _ := s.log.OnCheckpoint(r.App)
 	s.trace.Add(trace.Record{Op: trace.OpCheckpoint, App: r.App, Detail: chkID})
+	seq := s.emit(ReplRecord{Wlog: &wlog.Record{Op: wlog.OpCheckpoint, App: r.App}})
 	freed := s.collectGarbage()
 	if freed > 0 {
 		s.trace.Add(trace.Record{Op: trace.OpGC, Bytes: freed})
 	}
-	return CheckpointResp{ChkID: chkID, FreedBytes: freed}, nil
+	return CheckpointResp{ChkID: chkID, FreedBytes: freed}, seq
 }
 
 // collectGarbage deletes logged payload versions no component can
@@ -309,8 +395,19 @@ func (s *Server) collectGarbage() int64 {
 }
 
 func (s *Server) handleRecovery(r RecoveryReq) (any, error) {
-	script := s.log.OnRecovery(r.App)
+	resp, seq := s.applyRecovery(r)
+	s.flushRepl(seq)
+	return resp, nil
+}
+
+func (s *Server) applyRecovery(r RecoveryReq) (RecoveryResp, int64) {
+	if s.repl != nil {
+		s.replMu.Lock()
+		defer s.replMu.Unlock()
+	}
+	script := s.log.OnRecoveryFrom(r.App, r.Covered)
 	s.trace.Add(trace.Record{Op: trace.OpRecovery, App: r.App, Bytes: int64(len(script))})
+	seq := s.emit(ReplRecord{Wlog: &wlog.Record{Op: wlog.OpRecovery, App: r.App, Version: r.Covered}})
 	// A failed component must not dam the workflow with locks it held
 	// when it died; recovery drops them (part of rebuilding the staging
 	// client, §III-C). The lock dedup entry goes with them: the
@@ -320,7 +417,10 @@ func (s *Server) handleRecovery(r RecoveryReq) (any, error) {
 	s.lockMu.Lock()
 	delete(s.lockOps, r.App)
 	s.lockMu.Unlock()
-	return RecoveryResp{ReplayEvents: len(script)}, nil
+	if lockSeq := s.emit(ReplRecord{Lock: &LockRecord{Holder: r.App, ReleaseAll: true}}); lockSeq > 0 {
+		seq = lockSeq
+	}
+	return RecoveryResp{ReplayEvents: len(script)}, seq
 }
 
 func (s *Server) handleTrace(r TraceReq) (any, error) {
@@ -342,7 +442,7 @@ func (s *Server) handleLock(r LockReq) (any, error) {
 	}
 	if r.Seq == 0 {
 		// Legacy caller without retry dedup: execute directly.
-		return s.applyLock(r, kind)
+		return s.runLock(r, kind)
 	}
 	s.lockMu.Lock()
 	if a, ok := s.lockOps[r.Holder]; ok &&
@@ -360,9 +460,30 @@ func (s *Server) handleLock(r LockReq) (any, error) {
 	a := &lockAttempt{seq: r.Seq, name: r.Name, kind: kind, release: r.Release, done: make(chan struct{})}
 	s.lockOps[r.Holder] = a
 	s.lockMu.Unlock()
-	resp, err := s.applyLock(r, kind)
+	resp, err := s.runLock(r, kind)
 	a.err = err
 	close(a.done)
+	return resp, err
+}
+
+// runLock executes the lock operation and, with replication enabled,
+// ships the outcome (state transition plus dedup entry) to the peer
+// replicas before acknowledging, so a promoted spare answers a retried
+// lock RPC exactly like this server would have. The dedup-hit path in
+// handleLock never reaches here: a duplicate returns the original
+// outcome without re-emitting.
+func (s *Server) runLock(r LockReq, kind locks.Kind) (any, error) {
+	resp, err := s.applyLock(r, kind)
+	if s.repl != nil {
+		rec := &LockRecord{
+			Name: r.Name, Holder: r.Holder, Write: r.Write,
+			Release: r.Release, Seq: r.Seq, Ok: err == nil,
+		}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		s.flushRepl(s.emit(ReplRecord{Lock: rec}))
+	}
 	return resp, err
 }
 
@@ -449,7 +570,16 @@ func (s *Server) stats() StatsResp {
 	s.mu.Lock()
 	shardBytes := s.shardBytes
 	s.mu.Unlock()
+	slots, repBytes, repRecords := s.replicas.stats()
+	var replSeq int64
+	if s.repl != nil {
+		replSeq = s.repl.position()
+	}
 	return StatsResp{
+		ReplSeq:        replSeq,
+		ReplicaSlots:   slots,
+		ReplicaBytes:   repBytes,
+		ReplicaRecords: repRecords,
 		StoreBytes:     s.store.BytesUsed(),
 		LogMetaBytes:   s.log.MetaBytes(),
 		ShardBytes:     shardBytes,

@@ -32,6 +32,9 @@ type Object struct {
 	// CRC is the Castagnoli CRC-32 of Data for logged objects; the
 	// replay path verifies it before re-serving logged payloads.
 	CRC uint32
+	// Logged marks objects ingested through the crash-consistent path;
+	// the log-replication layer ships exactly these to peer servers.
+	Logged bool
 }
 
 // Bytes returns the payload size in bytes.
@@ -243,6 +246,47 @@ func (s *Store) Objects() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.count
+}
+
+// Export returns every resident object in deterministic order (by
+// name, then version, then bbox insertion order). The returned slice
+// holds the store's own immutable objects; callers must not mutate
+// payloads.
+func (s *Store) Export() []*Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.names))
+	for n, ni := range s.names {
+		if len(ni.sorted) > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	out := make([]*Object, 0, s.count)
+	for _, n := range names {
+		ni := s.names[n]
+		for _, v := range ni.sorted {
+			out = append(out, ni.versions[v].objs...)
+		}
+	}
+	return out
+}
+
+// Import replaces the store's entire contents with objs (used when a
+// promoted spare restores a dead server's replicated state).
+func (s *Store) Import(objs []*Object) error {
+	fresh := New()
+	for _, o := range objs {
+		if err := fresh.Put(o); err != nil {
+			return err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.names = fresh.names
+	s.bytes = fresh.bytes
+	s.count = fresh.count
+	return nil
 }
 
 // KeepOnly removes every version of name except version, returning the

@@ -95,19 +95,59 @@ type appQueue struct {
 	anchor int
 }
 
+// verCounts tracks the resident Get-event versions of one object name
+// with a cached minimum, so PayloadFrontier is O(readers) instead of
+// O(apps x events) per call. The minimum is recomputed (O(distinct
+// versions)) only when the event holding it is trimmed.
+type verCounts struct {
+	counts map[int64]int
+	min    int64 // valid when len(counts) > 0
+}
+
+func (vc *verCounts) add(v int64) {
+	if len(vc.counts) == 0 || v < vc.min {
+		vc.min = v
+	}
+	vc.counts[v]++
+}
+
+func (vc *verCounts) remove(v int64) {
+	n := vc.counts[v] - 1
+	if n > 0 {
+		vc.counts[v] = n
+		return
+	}
+	delete(vc.counts, v)
+	if v != vc.min || len(vc.counts) == 0 {
+		return
+	}
+	first := true
+	for u := range vc.counts {
+		if first || u < vc.min {
+			vc.min = u
+			first = false
+		}
+	}
+}
+
 // Log is the staging-side event log. It is safe for concurrent use.
 type Log struct {
 	mu        sync.Mutex
 	apps      map[string]*appQueue
 	lastGet   map[string]map[string]int64 // app -> name -> newest version ever read
 	metaBytes int64
+	// PayloadFrontier indexes, maintained on append/trim.
+	getEvents map[string]*verCounts       // name -> resident Get-event versions
+	readers   map[string]map[string]int64 // name -> app -> newest version read
 }
 
 // New returns an empty log.
 func New() *Log {
 	return &Log{
-		apps:    make(map[string]*appQueue),
-		lastGet: make(map[string]map[string]int64),
+		apps:      make(map[string]*appQueue),
+		lastGet:   make(map[string]map[string]int64),
+		getEvents: make(map[string]*verCounts),
+		readers:   make(map[string]map[string]int64),
 	}
 }
 
@@ -174,6 +214,10 @@ func (l *Log) BeginPut(app, name string, version int64, bbox domain.BBox) (suppr
 func (l *Log) CommitPut(app, name string, version int64, bbox domain.BBox, bytes int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.commitPutLocked(app, name, version, bbox, bytes)
+}
+
+func (l *Log) commitPutLocked(app, name string, version int64, bbox domain.BBox, bytes int64) {
 	q := l.queue(app)
 	l.append(q, &Event{App: app, Kind: KindPut, Name: name, Version: version, BBox: bbox, Bytes: bytes})
 }
@@ -216,8 +260,13 @@ func (l *Log) BeginGet(app, name string, version int64, bbox domain.BBox) (resol
 func (l *Log) CommitGet(app, name string, resolved int64, bbox domain.BBox, bytes int64) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	l.commitGetLocked(app, name, resolved, bbox, bytes)
+}
+
+func (l *Log) commitGetLocked(app, name string, resolved int64, bbox domain.BBox, bytes int64) {
 	q := l.queue(app)
 	l.append(q, &Event{App: app, Kind: KindGet, Name: name, Version: resolved, BBox: bbox, Bytes: bytes})
+	l.indexGet(app, name, resolved)
 	m, ok := l.lastGet[app]
 	if !ok {
 		m = make(map[string]int64)
@@ -225,6 +274,36 @@ func (l *Log) CommitGet(app, name string, resolved int64, bbox domain.BBox, byte
 	}
 	if v, ok := m[name]; !ok || resolved > v {
 		m[name] = resolved
+	}
+}
+
+// indexGet updates the frontier indexes for one appended Get event.
+func (l *Log) indexGet(app, name string, resolved int64) {
+	vc, ok := l.getEvents[name]
+	if !ok {
+		vc = &verCounts{counts: make(map[int64]int)}
+		l.getEvents[name] = vc
+	}
+	vc.add(resolved)
+	r, ok := l.readers[name]
+	if !ok {
+		r = make(map[string]int64)
+		l.readers[name] = r
+	}
+	if v, ok := r[app]; !ok || resolved > v {
+		r[app] = resolved
+	}
+}
+
+// unindexGet updates the frontier indexes for one trimmed Get event.
+func (l *Log) unindexGet(name string, version int64) {
+	vc, ok := l.getEvents[name]
+	if !ok {
+		return
+	}
+	vc.remove(version)
+	if len(vc.counts) == 0 {
+		delete(l.getEvents, name)
 	}
 }
 
@@ -236,6 +315,10 @@ func (l *Log) CommitGet(app, name string, resolved int64, bbox domain.BBox, byte
 func (l *Log) OnCheckpoint(app string) (chkID string, trimmed []*Event) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.onCheckpointLocked(app)
+}
+
+func (l *Log) onCheckpointLocked(app string) (chkID string, trimmed []*Event) {
 	q := l.queue(app)
 	if q.replaying {
 		// A checkpoint ends any replay: the component state is now
@@ -251,6 +334,9 @@ func (l *Log) OnCheckpoint(app string) (chkID string, trimmed []*Event) {
 	trimmed = q.events[:cut]
 	for _, e := range trimmed {
 		l.metaBytes -= e.metaBytes()
+		if e.Kind == KindGet {
+			l.unindexGet(e.Name, e.Version)
+		}
 	}
 	q.events = append([]*Event(nil), q.events[cut:]...)
 	q.anchor = 0
@@ -262,12 +348,50 @@ func (l *Log) OnCheckpoint(app string) (chkID string, trimmed []*Event) {
 // checkpointed). It returns the replay script: the logged events the
 // component will re-issue, in order.
 func (l *Log) OnRecovery(app string) []*Event {
+	return l.OnRecoveryFrom(app, 0)
+}
+
+// OnRecoveryFrom is OnRecovery for a component whose durable checkpoint
+// covers every event with Version <= covered (0 means no coverage
+// information; versions start at 1). Those events are dropped from the
+// replay window before the script is generated.
+//
+// This heals a torn workflow_check: the checkpoint mark is issued per
+// server, so a server fail-stop mid-check leaves some servers without
+// the mark while the component's own checkpoint is already durable. On
+// restart the component will not re-issue requests its checkpoint
+// folded in, so an un-marked server must not expect them — dropping
+// the covered prefix puts the anchor exactly where the lost mark would
+// have put it.
+func (l *Log) OnRecoveryFrom(app string, covered int64) []*Event {
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	return l.onRecoveryFromLocked(app, covered)
+}
+
+func (l *Log) onRecoveryFromLocked(app string, covered int64) []*Event {
 	q := l.queue(app)
 	start := q.anchor + 1 // anchor is -1 when no checkpoint event exists
 	if start > len(q.events) {
 		start = len(q.events)
+	}
+	if covered > 0 {
+		// Drop the leading events the component's checkpoint covers, as
+		// the missing checkpoint mark would have. Only put/get events
+		// can follow the anchor (the anchor is the last checkpoint
+		// event), and the component issues them in version order.
+		cut := start
+		for cut < len(q.events) && q.events[cut].Kind != KindCheckpoint && q.events[cut].Version <= covered {
+			e := q.events[cut]
+			l.metaBytes -= e.metaBytes()
+			if e.Kind == KindGet {
+				l.unindexGet(e.Name, e.Version)
+			}
+			cut++
+		}
+		if cut > start {
+			q.events = append(q.events[:start:start], q.events[cut:]...)
+		}
 	}
 	q.cursor = start
 	q.replaying = q.cursor < len(q.events)
@@ -287,16 +411,12 @@ func (l *Log) PayloadFrontier(name string) int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	frontier := int64(math.MaxInt64)
-	for app, q := range l.apps {
-		for _, e := range q.events {
-			if e.Kind == KindGet && e.Name == name && e.Version < frontier {
-				frontier = e.Version
-			}
-		}
-		if m, ok := l.lastGet[app]; ok {
-			if last, ok := m[name]; ok && last+1 < frontier {
-				frontier = last + 1
-			}
+	if vc, ok := l.getEvents[name]; ok && len(vc.counts) > 0 && vc.min < frontier {
+		frontier = vc.min
+	}
+	for _, last := range l.readers[name] {
+		if last+1 < frontier {
+			frontier = last + 1
 		}
 	}
 	return frontier

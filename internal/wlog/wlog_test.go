@@ -1,6 +1,7 @@
 package wlog
 
 import (
+	"bytes"
 	"errors"
 	"math"
 	"testing"
@@ -371,5 +372,84 @@ func TestAppsAndQueueLen(t *testing.T) {
 	}
 	if l.QueueLen("ghost") != 0 {
 		t.Fatal("ghost app has events")
+	}
+}
+
+// TestRecoveryFromCoveredVersion reproduces a torn workflow_check: the
+// component checkpointed durably at ts 5 but this server never received
+// the checkpoint mark (it was issued per server and a fail-stop
+// interrupted the round). OnRecoveryFrom must drop the covered prefix
+// so the restarted component — which will not re-issue ts<=5 requests —
+// does not diverge.
+func TestRecoveryFromCoveredVersion(t *testing.T) {
+	l := New()
+	for ts := int64(1); ts <= 5; ts++ {
+		doPut(t, l, "a", "field", ts)
+		doGet(t, l, "b", "field", ts)
+	}
+	before := l.MetaBytes()
+
+	// Fully covered: the replay window empties and replay never starts.
+	script := l.OnRecoveryFrom("b", 5)
+	if len(script) != 0 {
+		t.Fatalf("script len %d, want 0 (all events covered)", len(script))
+	}
+	if l.Replaying("b") {
+		t.Fatal("replaying an empty window")
+	}
+	if l.QueueLen("b") != 0 {
+		t.Fatalf("covered events not trimmed: queue len %d", l.QueueLen("b"))
+	}
+	if l.MetaBytes() >= before {
+		t.Fatal("trim did not release meta bytes")
+	}
+	// b's resident get events no longer pin old payload versions; only
+	// its first-reads-to-come bound (last read 5 -> 6) remains.
+	if f := l.PayloadFrontier("field"); f != 6 {
+		t.Fatalf("frontier = %d, want 6", f)
+	}
+	// The component restarts at ts 6 with a fresh, unreplayed get.
+	if _, fromLog := doGet(t, l, "b", "field", 6); fromLog {
+		t.Fatal("post-recovery get served from log")
+	}
+
+	// Partially covered: only events above the bound replay.
+	script = l.OnRecoveryFrom("a", 3)
+	if len(script) != 2 || script[0].Version != 4 || script[1].Version != 5 {
+		t.Fatalf("script %v, want puts v4,v5", script)
+	}
+	if !doPut(t, l, "a", "field", 4) || !doPut(t, l, "a", "field", 5) {
+		t.Fatal("replayed puts not suppressed")
+	}
+	if l.Replaying("a") {
+		t.Fatal("still replaying after consuming the window")
+	}
+}
+
+// TestRecoveryFromReplicates: the covered bound rides the replication
+// record, so a replica fed the same stream converges on the primary's
+// post-recovery state byte-exactly.
+func TestRecoveryFromReplicates(t *testing.T) {
+	primary, replica := New(), New()
+	for ts := int64(1); ts <= 4; ts++ {
+		doGet(t, primary, "b", "field", ts)
+		if err := replica.Apply(Record{Op: OpGet, App: "b", Name: "field", Version: ts, BBox: box, Bytes: 1000}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	primary.OnRecoveryFrom("b", 2)
+	if err := replica.Apply(Record{Op: OpRecovery, App: "b", Version: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ps, err := primary.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := replica.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ps, rs) {
+		t.Fatal("replica diverged from primary after OnRecoveryFrom")
 	}
 }

@@ -301,7 +301,10 @@ func (r *run) superviseCR(c *component) error {
 			}
 			states[i] = st
 			if c.logged {
-				n, err := clients[i].WorkflowRestart()
+				// Event versions are timesteps, so the restored state
+				// covers every event up to st.LastTS: passing it heals a
+				// workflow_check torn by a server dying mid-mark.
+				n, err := clients[i].WorkflowRestartFrom(st.LastTS)
 				if err != nil {
 					return err
 				}
@@ -410,19 +413,28 @@ func (r *run) superviseReplicated(c *component) error {
 				if err == nil {
 					return
 				}
-				if !errors.Is(err, mpi.ErrDead) {
+				switch {
+				case errors.Is(err, mpi.ErrDead):
+					// Replica takeover: same in-memory state, fresh process.
+					r.recoveries.Add(1)
+					sp, ok := r.spares.Get()
+					if !ok {
+						errs[rank] = fmt.Errorf("workflow: no replica available for %s/%d", c.name, rank)
+						return
+					}
+					e.proc = sp
+				case errors.Is(err, staging.ErrDegraded) || staging.IsStaleEpoch(err):
+					// Staging degraded — a server fail-stopped mid-call.
+					// Replication masks process failures, but the staging
+					// area still has to heal: wait out the promotion and
+					// retry the current timestep against the restored
+					// membership. No replica is consumed and no rollback
+					// happens; the state advanced in place is still valid.
+				default:
 					errs[rank] = err
 					r.condemn() // hard error: unwind the whole run
 					return
 				}
-				// Replica takeover: same in-memory state, fresh process.
-				r.recoveries.Add(1)
-				sp, ok := r.spares.Get()
-				if !ok {
-					errs[rank] = fmt.Errorf("workflow: no replica available for %s/%d", c.name, rank)
-					return
-				}
-				e.proc = sp
 				if err := r.waitServers(); err != nil {
 					errs[rank] = err
 					return

@@ -1,0 +1,100 @@
+package workflow
+
+import (
+	"testing"
+
+	"gospaces/internal/ckpt"
+)
+
+// These tests are the tentpole's end-to-end acceptance runs: with log
+// replication on, a staging server fail-stops permanently under the
+// logged (uncoordinated / hybrid) schemes — previously only the
+// coordinated global rollback could survive that. The supervisor
+// promotes a spare, restores the dead slot's event log and payloads
+// from the freshest replica, and workflow_restart replays byte-exactly.
+
+func TestUncoordinatedServerFailStopWithLogReplication(t *testing.T) {
+	opts := baseOpts(ckpt.Uncoordinated)
+	opts.Steps = 12
+	opts.NServers = 4
+	opts.WlogReplicas = 1
+	opts.ServerFailures = []ServerFailAt{{Server: 1, TS: 6}}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads %d after server fail-stop", res.CorruptReads)
+	}
+	if res.ServerRecoveries != 1 {
+		t.Fatalf("server recoveries = %d, want 1", res.ServerRecoveries)
+	}
+	if res.FinalEpoch != 2 {
+		t.Fatalf("final epoch = %d, want 2", res.FinalEpoch)
+	}
+	if res.Recoveries == 0 {
+		t.Fatal("no component rollback despite a dead staging server")
+	}
+	if res.ReplayedEvents == 0 {
+		t.Fatal("no events replayed through the restored log")
+	}
+	if res.Staging.ReplSeq == 0 || res.Staging.ReplicaRecords == 0 {
+		t.Fatalf("no replication activity in staging stats: %+v", res.Staging)
+	}
+	expectReads(t, res, opts)
+}
+
+// TestHybridServerFailStopWithLogReplication: the replicated consumer
+// must ride out the staging outage without consuming a process replica
+// (degraded staging is not a process failure), while the C/R producer
+// rolls back and replays through the restored log.
+func TestHybridServerFailStopWithLogReplication(t *testing.T) {
+	opts := baseOpts(ckpt.Hybrid)
+	opts.Steps = 12
+	opts.NServers = 4
+	opts.WlogReplicas = 1
+	opts.ServerFailures = []ServerFailAt{{Server: 2, TS: 6}}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads %d after server fail-stop", res.CorruptReads)
+	}
+	if res.ServerRecoveries != 1 {
+		t.Fatalf("server recoveries = %d, want 1", res.ServerRecoveries)
+	}
+	expectReads(t, res, opts)
+}
+
+// TestUncoordinatedDoubleServerFailStop promotes twice: the second
+// restore draws on replicas that include the first promoted spare.
+func TestUncoordinatedDoubleServerFailStop(t *testing.T) {
+	opts := baseOpts(ckpt.Uncoordinated)
+	opts.Steps = 12
+	opts.NServers = 4
+	opts.WlogReplicas = 2
+	opts.ServerFailures = []ServerFailAt{{Server: 1, TS: 4}, {Server: 3, TS: 8}}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads %d after double server fail-stop", res.CorruptReads)
+	}
+	if res.ServerRecoveries != 2 {
+		t.Fatalf("server recoveries = %d, want 2", res.ServerRecoveries)
+	}
+	if res.FinalEpoch != 3 {
+		t.Fatalf("final epoch = %d, want 3", res.FinalEpoch)
+	}
+	expectReads(t, res, opts)
+}
+
+// TestServerFailStopNeedsReplicationOrCoordination: the validation
+// gate — a logged scheme may only schedule server fail-stops when log
+// replication is on.
+func TestServerFailStopNeedsReplicationOrCoordination(t *testing.T) {
+	opts := baseOpts(ckpt.Hybrid)
+	opts.ServerFailures = []ServerFailAt{{Server: 0, TS: 2}}
+	if _, err := Run(opts); err == nil {
+		t.Fatal("logged scheme with server fail-stops accepted without WlogReplicas")
+	}
+	opts.WlogReplicas = 1
+	opts.Steps = 6
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 || res.ServerRecoveries != 1 {
+		t.Fatalf("result %+v", res)
+	}
+}

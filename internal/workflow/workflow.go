@@ -104,6 +104,12 @@ type Options struct {
 	// StagingSpares is the warm-spare staging-server pool size (default:
 	// one per scheduled server failure).
 	StagingSpares int
+	// WlogReplicas replicates each staging server's event log (and the
+	// logged payloads and lock tables) to this many peer servers, so a
+	// promoted spare restores the dead server's queues and replay
+	// survives staging fail-stops. It is what lets logged schemes
+	// (uncoordinated, hybrid) tolerate ServerFailures. 0 disables.
+	WlogReplicas int
 	// Redundancy, when set, CoREC-protects every produced field per
 	// timestep (replication or erasure coding across the staging group),
 	// giving the recovery supervisor shards to rebuild after a
@@ -174,8 +180,8 @@ func (o *Options) defaults() error {
 		return fmt.Errorf("workflow: checkpoint periods must be positive")
 	}
 	if len(o.ServerFailures) > 0 {
-		if o.Scheme != ckpt.Coordinated {
-			return fmt.Errorf("workflow: server fail-stops need the coordinated scheme (staged state lost with the server is only regenerated by global rollback)")
+		if o.Scheme != ckpt.Coordinated && !(o.Scheme.Logged() && o.WlogReplicas > 0) {
+			return fmt.Errorf("workflow: server fail-stops need the coordinated scheme (global rollback regenerates the staged state lost with the server) or a logged scheme with WlogReplicas > 0 (the event log and payloads survive on peer replicas)")
 		}
 		for _, f := range o.ServerFailures {
 			if f.Server < 0 || f.Server >= o.NServers {
@@ -379,10 +385,11 @@ func Run(opts Options) (Result, error) {
 		tr = transport.NewTCP()
 	}
 	group, err := staging.StartGroup(tr, groupPrefix(opts), staging.Config{
-		Global:   opts.Global,
-		NServers: opts.NServers,
-		Bits:     opts.Bits,
-		ElemSize: opts.ElemSize,
+		Global:       opts.Global,
+		NServers:     opts.NServers,
+		Bits:         opts.Bits,
+		ElemSize:     opts.ElemSize,
+		WlogReplicas: opts.WlogReplicas,
 	})
 	if err != nil {
 		return Result{}, err
