@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench
+.PHONY: check vet build test race short bench nemesis
 
 check: vet test race
 
@@ -26,6 +26,12 @@ race:
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:
 	$(GO) test -short ./...
+
+# Short nemesis soak under the race detector: seeded supervisor/server
+# kill schedules over the HA-recovery stack (leader killed at every
+# promotion stage, deposed-leader fencing, spare exhaustion, chaos).
+nemesis:
+	$(GO) test -race -run 'TestNemesis' -count=1 -timeout 10m ./internal/workflow/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

@@ -17,6 +17,9 @@
 //	stats                   print aggregated staging statistics
 //	health                  probe each server's liveness, membership
 //	                        epoch, spare status, and rebuild counters
+//	leader                  probe each server's recovery-leadership view:
+//	                        lease holder, fencing token, lease expiry,
+//	                        and the journaled promotion backlog
 package main
 
 import (
@@ -56,7 +59,7 @@ func main() {
 
 func run(servers, domainStr string, elem, bits int, app string, opts gospaces.DialOptions, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health)")
+		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health/leader)")
 	}
 	global, err := parseDomain(domainStr)
 	if err != nil {
@@ -67,6 +70,9 @@ func run(servers, domainStr string, elem, bits int, app string, opts gospaces.Di
 	// as rows, not abort pool construction.
 	if args[0] == "health" {
 		return healthCmd(addrs, opts)
+	}
+	if args[0] == "leader" {
+		return leaderCmd(addrs, opts)
 	}
 	pool, err := gospaces.ConnectWithOptions(addrs, gospaces.StagingConfig{
 		Global:   global,
@@ -183,6 +189,44 @@ func healthCmd(addrs []string, opts gospaces.DialOptions) error {
 	}
 	if dead > 0 {
 		return fmt.Errorf("%d of %d servers unreachable", dead, len(addrs))
+	}
+	return nil
+}
+
+func leaderCmd(addrs []string, opts gospaces.DialOptions) error {
+	holders := map[string]int{}
+	backlog := 0
+	for _, v := range gospaces.ProbeLeader(addrs, opts) {
+		if v.Err != "" {
+			fmt.Printf("%-22s DEAD  %s\n", v.Addr, v.Err)
+			continue
+		}
+		holder := v.Holder
+		if holder == "" {
+			holder = "<none>"
+		} else {
+			holders[holder]++
+		}
+		fmt.Printf("%-22s holder=%-20s token=%d fence=%d expires_in=%v\n",
+			v.Addr, holder, v.Token, v.Fence, v.ExpiresIn.Round(time.Millisecond))
+		for _, in := range v.Intents {
+			backlog++
+			fmt.Printf("%22s   intent: slot %d (%s dead) -> spare %s under token %d\n",
+				"", in.Slot, in.DeadAddr, in.Spare, in.Token)
+		}
+	}
+	switch len(holders) {
+	case 0:
+		fmt.Println("no lease held (no supervisor, or all leases expired)")
+	case 1:
+		for h, n := range holders {
+			fmt.Printf("leader: %s (granted by %d of %d servers)\n", h, n, len(addrs))
+		}
+	default:
+		fmt.Printf("WARNING: %d distinct lease holders reported — election in progress\n", len(holders))
+	}
+	if backlog > 0 {
+		fmt.Printf("%d journaled promotion(s) outstanding\n", backlog)
 	}
 	return nil
 }

@@ -13,6 +13,12 @@
 // With -wlog-replicas k each server ships its event log to its k
 // membership successors; group mode wires the membership itself, while
 // single-server mode needs -peers with the full ordered address list.
+//
+// Each server also hosts its share of the recovery-leadership state:
+// a lease record granted to whichever supervisor wins election, the
+// fencing high-water mark, and the journaled promotion intents.
+// Redundant supervisors may supervise one group; `dsctl leader` shows
+// the current holder, token, and promotion backlog.
 package main
 
 import (

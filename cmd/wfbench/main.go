@@ -15,14 +15,22 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"sync"
+	"time"
 
 	"gospaces"
 	"gospaces/internal/cluster"
+	"gospaces/internal/domain"
 	"gospaces/internal/expt"
+	"gospaces/internal/health"
+	"gospaces/internal/recovery"
+	"gospaces/internal/staging"
+	"gospaces/internal/transport"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, all")
 	seeds := flag.Int("seeds", 5, "number of failure-schedule seeds for the simulated experiments")
 	steps := flag.Int64("steps", 20, "coupling cycles for the live staging measurements")
 	reps := flag.Int("reps", 5, "repetitions (median) for the live staging measurements")
@@ -84,6 +92,8 @@ func main() {
 			return failstop()
 		case "logrepl":
 			return logrepl()
+		case "nemesis":
+			return nemesisExp()
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -92,7 +102,7 @@ func main() {
 
 	var names []string
 	if *exp == "all" {
-		names = []string{"table1", "table2", "table3", "motivation", "failstop", "logrepl", "fig9a", "fig9b", "fig9e", "fig10", "sweep"}
+		names = []string{"table1", "table2", "table3", "motivation", "failstop", "logrepl", "nemesis", "fig9a", "fig9b", "fig9e", "fig10", "sweep"}
 	} else {
 		names = []string{*exp}
 	}
@@ -242,6 +252,134 @@ func logrepl() error {
 	}
 	t.Write(os.Stdout)
 	return nil
+}
+
+// nemesisExp measures live MTTR for a staging-server fail-stop under
+// three redundant supervisors, clean versus with the recovery leader
+// killed mid-promotion: the killed-leader case pays roughly one lease
+// TTL for the standby takeover, and the journaled intent lets the
+// successor finish the same promotion (one spare, one epoch bump).
+func nemesisExp() error {
+	t := &expt.Table{
+		Title:   "Supervisor HA (live): MTTR for a server fail-stop, 3 redundant supervisors",
+		Headers: []string{"scenario", "median MTTR", "promotions", "takeovers", "verdict"},
+	}
+	for _, sc := range []struct {
+		name string
+		kill bool
+	}{
+		{"clean recovery (leader survives)", false},
+		{"leader killed mid-promotion", true},
+	} {
+		mttrs := make([]time.Duration, 0, expt.Reps)
+		var promotions, takeovers int64
+		for rep := 0; rep < expt.Reps; rep++ {
+			d, p, tk, err := nemesisMTTR(sc.kill)
+			if err != nil {
+				return err
+			}
+			mttrs = append(mttrs, d)
+			promotions += p
+			takeovers += tk
+		}
+		sort.Slice(mttrs, func(i, j int) bool { return mttrs[i] < mttrs[j] })
+		verdict := "CONSISTENT"
+		if promotions != int64(expt.Reps) {
+			verdict = fmt.Sprintf("BAD: %d promotions over %d runs", promotions, expt.Reps)
+		}
+		if sc.kill && takeovers == 0 {
+			verdict = "BAD: leader killed but no takeover"
+		}
+		t.Add(sc.name, mttrs[len(mttrs)/2].Round(time.Millisecond), promotions, takeovers, verdict)
+	}
+	t.Write(os.Stdout)
+	return nil
+}
+
+// nemesisMTTR runs one fail-stop and reports the time from the kill to
+// every slot alive again, plus promotion/takeover counts summed over
+// the redundant supervisors.
+func nemesisMTTR(kill bool) (time.Duration, int64, int64, error) {
+	tr := transport.NewInProc()
+	g, err := staging.StartGroup(tr, "stage", staging.Config{
+		Global:       domain.Box3(0, 0, 0, 63, 63, 0),
+		NServers:     4,
+		Bits:         2,
+		ElemSize:     1,
+		WlogReplicas: 1,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer g.Close()
+	if _, err := g.AddSpare(); err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Logged traffic so the promotion restores a real replica.
+	prod, err := g.NewClient("sim/0")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer prod.Close()
+	buf := make([]byte, 64*64)
+	for i := range buf {
+		buf[i] = byte(i * 7)
+	}
+	if err := prod.PutWithLog("field", 1, domain.Box3(0, 0, 0, 63, 63, 0), buf); err != nil {
+		return 0, 0, 0, err
+	}
+
+	const nSups = 3
+	sups := make([]*recovery.Supervisor, nSups)
+	var killMu sync.Mutex
+	killArmed := kill
+	for i := 0; i < nSups; i++ {
+		i := i
+		id := fmt.Sprintf("wfbench/sup/%d", i)
+		det := health.NewDetector(tr, id, health.Config{
+			Period:       5 * time.Millisecond,
+			Timeout:      25 * time.Millisecond,
+			SuspectAfter: 2,
+			DeadAfter:    4,
+		})
+		cfg := recovery.Config{ID: id, LeaseTTL: 150 * time.Millisecond}
+		// Kill at "intent": the promotion is journaled but nothing is
+		// mutated yet, so the dead slot stays dark until a standby wins
+		// the lease and resumes — the worst-case MTTR path.
+		cfg.PromotionHook = func(stage string, slot int) {
+			if stage != "intent" || i == nSups-1 {
+				return
+			}
+			killMu.Lock()
+			armed := killArmed
+			killArmed = false
+			killMu.Unlock()
+			if armed {
+				sups[i].Kill()
+			}
+		}
+		sups[i] = recovery.New(tr, det, g.Membership(), g, cfg)
+		sups[i].Start()
+		defer sups[i].Close()
+	}
+
+	start := time.Now()
+	if err := g.FailStop(1); err != nil {
+		return 0, 0, 0, err
+	}
+	// The last supervisor is never killed; its view converges once the
+	// promotion (original or resumed) lands.
+	if err := sups[nSups-1].WaitIdle(20 * time.Second); err != nil {
+		return 0, 0, 0, err
+	}
+	mttr := time.Since(start)
+	var promotions, takeovers int64
+	for _, s := range sups {
+		promotions += s.Metrics().Counter("recovery.promotions").Value()
+		takeovers += s.Metrics().Counter("recovery.takeovers").Value()
+	}
+	return mttr, promotions, takeovers, nil
 }
 
 // table1 prints the user interface of Table I.

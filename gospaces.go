@@ -415,6 +415,81 @@ func probeOne(tr transport.Transport, addr string) ServerHealth {
 	return h
 }
 
+// LeaderView is one staging server's view of recovery leadership: the
+// lease record it granted, its fencing high-water mark, and any
+// journaled promotion intents (the dead-slot backlog a takeover would
+// resume).
+type LeaderView struct {
+	// Addr is the probed address.
+	Addr string
+	// Holder names the supervisor the server granted the lease to
+	// (empty when no lease is held).
+	Holder string
+	// Token is the granted lease's fencing token.
+	Token uint64
+	// Fence is the highest token the server has seen: calls below it
+	// are rejected.
+	Fence uint64
+	// ExpiresIn is the remaining lease time (negative when expired).
+	ExpiresIn time.Duration
+	// Intents are the promotions journaled on this server but not yet
+	// completed.
+	Intents []PromotionIntentInfo
+	// Err describes the probe failure (the other fields are zero).
+	Err string
+}
+
+// PromotionIntentInfo renders one journaled promotion intent.
+type PromotionIntentInfo struct {
+	Slot     int
+	DeadAddr string
+	Spare    string
+	Token    uint64
+}
+
+// ProbeLeader asks each address for its recovery-leadership view —
+// lease holder, fencing token, and journaled promotion backlog. Dead
+// servers are reported with Err set rather than failing the probe.
+// dsctl leader wraps this.
+func ProbeLeader(addrs []string, opts DialOptions) []LeaderView {
+	tr := transport.NewTCPTimeout(opts.CallTimeout, opts.DialTimeout)
+	out := make([]LeaderView, len(addrs))
+	for i, addr := range addrs {
+		out[i] = leaderOne(tr, addr)
+	}
+	return out
+}
+
+func leaderOne(tr transport.Transport, addr string) LeaderView {
+	v := LeaderView{Addr: addr}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	defer conn.Close()
+	raw, err := conn.Call(staging.LeaderInfoReq{})
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	resp, ok := raw.(staging.LeaderInfoResp)
+	if !ok {
+		v.Err = fmt.Sprintf("unexpected leader-info response %T", raw)
+		return v
+	}
+	v.Holder = resp.Holder
+	v.Token = resp.Token
+	v.Fence = resp.MaxFence
+	v.ExpiresIn = resp.ExpiresIn
+	for _, in := range resp.Intents {
+		v.Intents = append(v.Intents, PromotionIntentInfo{
+			Slot: in.Slot, DeadAddr: in.DeadAddr, Spare: in.Spare, Token: in.Token,
+		})
+	}
+	return v
+}
+
 // ---------------------------------------------------------------------
 // Evaluation harness.
 

@@ -36,6 +36,11 @@ const (
 	// supervisor (internal/recovery) promoting a spare brings the slot
 	// back.
 	ServerFailStop
+	// SupervisorKill kills one recovery supervisor (Server indexes the
+	// supervisor, not a staging server). The nemesis harness
+	// (internal/workflow.RunNemesis) consumes it to crash leaders
+	// mid-promotion; the chaos transport ignores it.
+	SupervisorKill
 )
 
 // String renders the kind for traces and logs.
@@ -51,6 +56,8 @@ func (k Kind) String() string {
 		return "net-drop"
 	case ServerFailStop:
 		return "server-fail-stop"
+	case SupervisorKill:
+		return "supervisor-kill"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -176,6 +183,41 @@ func Chaos(seed int64, n int, horizon, meanFault time.Duration, nServers int, ki
 			Server:   rng.Intn(nServers),
 			Duration: dur,
 		})
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+// Nemesis draws a recovery-soak schedule: n faults uniformly over
+// (0, horizon) mixing permanent staging-server fail-stops, transient
+// server blackouts of mean length meanFault, and supervisor kills
+// (Server indexes the supervisor for those). It is the generator
+// behind the nemesis harness (internal/workflow.RunNemesis), which
+// concurrently kills supervisors, staging servers, and ranks and then
+// asserts the standing invariants. Deterministic for a given seed.
+func Nemesis(seed int64, n int, horizon, meanFault time.Duration, nServers, nSupervisors int) (Schedule, error) {
+	if horizon <= time.Nanosecond {
+		return nil, fmt.Errorf("failure: horizon %v too short", horizon)
+	}
+	if meanFault <= 0 {
+		return nil, fmt.Errorf("failure: non-positive mean fault duration %v", meanFault)
+	}
+	if nServers <= 0 || nSupervisors <= 0 {
+		return nil, fmt.Errorf("failure: nemesis needs servers (%d) and supervisors (%d)", nServers, nSupervisors)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon)-1)) + 1
+		switch rng.Intn(3) {
+		case 0:
+			sched = append(sched, Injection{At: at, Kind: ServerFailStop, Server: rng.Intn(nServers)})
+		case 1:
+			dur := meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+			sched = append(sched, Injection{At: at, Kind: ServerCrash, Server: rng.Intn(nServers), Duration: dur})
+		case 2:
+			sched = append(sched, Injection{At: at, Kind: SupervisorKill, Server: rng.Intn(nSupervisors)})
+		}
 	}
 	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 	return sched, nil

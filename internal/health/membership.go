@@ -1,9 +1,15 @@
 package health
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrFenced rejects a membership write whose fencing token trails a
+// newer recovery leader's: the writer has been deposed and must stop
+// mutating.
+var ErrFenced = errors.New("health: membership write fenced: newer leader exists")
 
 // Change is one membership transition: slot ID re-pointed to Addr at
 // the (freshly bumped) Epoch.
@@ -24,6 +30,11 @@ type Membership struct {
 	epoch uint64
 	addrs []string
 	subs  []chan Change
+	// maxToken is the highest fencing token that has written (or sealed)
+	// the membership; fenced writes carrying an older token are rejected,
+	// so a deposed recovery leader cannot race the current one even
+	// in-process.
+	maxToken uint64
 }
 
 // NewMembership creates epoch 1 over the given addresses in slot
@@ -64,12 +75,46 @@ func (m *Membership) Snapshot() ([]string, uint64) {
 }
 
 // Replace points slot id at a new address and bumps the epoch,
-// notifying subscribers. It returns the new epoch.
+// notifying subscribers. It returns the new epoch. Legacy single-writer
+// path; the HA supervisor uses ReplaceFenced.
 func (m *Membership) Replace(id int, addr string) (uint64, error) {
+	return m.ReplaceFenced(0, id, addr)
+}
+
+// Fence seals the membership at a fencing token: writes carrying an
+// older token are rejected from now on. A freshly elected recovery
+// leader fences the membership with its lease token so a deposed
+// in-process leader's stale Replace cannot land mid-takeover.
+func (m *Membership) Fence(token uint64) {
 	m.mu.Lock()
+	if token > m.maxToken {
+		m.maxToken = token
+	}
+	m.mu.Unlock()
+}
+
+// ReplaceFenced is Replace under a fencing token: the write is rejected
+// with ErrFenced when token trails the highest the membership has seen.
+// It is idempotent — re-pointing a slot at the address it already holds
+// (a takeover resuming a deposed leader's completed write) returns the
+// current epoch without a bump, so a resumed promotion never
+// double-counts.
+func (m *Membership) ReplaceFenced(token uint64, id int, addr string) (uint64, error) {
+	m.mu.Lock()
+	if token < m.maxToken {
+		fence := m.maxToken
+		m.mu.Unlock()
+		return 0, fmt.Errorf("%w: token %d behind %d", ErrFenced, token, fence)
+	}
 	if id < 0 || id >= len(m.addrs) {
 		m.mu.Unlock()
 		return 0, fmt.Errorf("health: no membership slot %d", id)
+	}
+	m.maxToken = token
+	if m.addrs[id] == addr {
+		epoch := m.epoch
+		m.mu.Unlock()
+		return epoch, nil
 	}
 	m.addrs[id] = addr
 	m.epoch++

@@ -5,16 +5,26 @@
 // re-protects the CoREC-redundant objects whose shards died with the
 // server.
 //
-// The design assumes at most one supervisor per staging group (the
-// membership has exactly one writer); running two would race promotions
-// and double-spend spares. The supervisor never touches object or log
-// state directly — re-protection goes through the same client-driven
-// shard RPCs the CoREC layer always uses, so it composes with any
-// transport.
+// Recovery itself is crash-consistent: any number of redundant
+// supervisors may run against one group, and lease-based leader
+// election (a token CAS on a majority of the membership) picks exactly
+// one to act. Every recovery-side mutation — the membership write, the
+// view push, the log-restore install, the re-protection shard writes —
+// carries the leader's fencing token, so a deposed leader's stale
+// calls are rejected server-side. Each promotion is journaled as an
+// intent record on a majority of members before anything is mutated,
+// so a standby that takes over mid-promotion resumes the same slot
+// with the same spare: no half-promoted group, no double-spent spare.
+// The supervisor never touches object or log state directly —
+// re-protection goes through the same client-driven shard RPCs the
+// CoREC layer always uses, so it composes with any transport.
 package recovery
 
 import (
+	"errors"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 	"time"
 
@@ -26,9 +36,15 @@ import (
 )
 
 // SparePool hands out addresses of warm spare servers; staging.Group
-// implements it. TakeSpare returns ok=false when the pool is dry.
+// implements it. TakeSpareFor is idempotent per dead slot — until the
+// promotion commits (CommitSpare) or aborts (ReturnSpare), repeated
+// draws for the same slot return the same spare, which is what lets a
+// leader takeover resume a half-done promotion without spending a
+// second spare.
 type SparePool interface {
-	TakeSpare() (addr string, ok bool)
+	TakeSpareFor(slot int) (addr string, ok bool)
+	ReturnSpare(slot int) bool
+	CommitSpare(slot int)
 }
 
 // Config tunes the supervisor.
@@ -43,16 +59,47 @@ type Config struct {
 	// replacement address, and the new epoch — the hook a workflow uses
 	// to update its client-side staging pool.
 	OnPromote func(slot int, addr string, epoch uint64)
+	// ID names this supervisor in lease records (default "supervisor/0").
+	// Redundant supervisors over one group must use distinct IDs.
+	ID string
+	// LeaseTTL is the leader-lease duration: a standby takes over within
+	// one TTL of the leader stalling or dying. Default 3x the detector's
+	// detection window.
+	LeaseTTL time.Duration
+	// OnSlotDown, if set, reports a slot entering (down=true) or leaving
+	// (down=false) the dead-unrecovered backlog — dead with no spare
+	// left. A workflow marks the client pool so callers see ErrSlotDown
+	// instead of timing out against the dead address.
+	OnSlotDown func(slot int, down bool)
+	// PromotionHook, if set, runs after each completed promotion stage
+	// ("intent", "restored", "replaced", "pushed") — the nemesis
+	// harness's deterministic kill point for killing a leader
+	// mid-promotion.
+	PromotionHook func(stage string, slot int)
 }
 
-func (c Config) withDefaults() Config {
+func (c Config) withDefaults(det *health.Detector) Config {
 	if c.RebuildParallel <= 0 {
 		c.RebuildParallel = 4
+	}
+	if c.ID == "" {
+		c.ID = "supervisor/0"
+	}
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * det.Window()
 	}
 	return c
 }
 
-// Supervisor drives fail-stop recovery for one staging group.
+// deadSlot is one confirmed-dead membership slot awaiting promotion.
+type deadSlot struct {
+	addr     string // the address that died (for the intent journal)
+	notified bool   // OnSlotDown(slot, true) delivered: no spare was left
+}
+
+// Supervisor drives fail-stop recovery for one staging group. Several
+// redundant supervisors may supervise the same group; leader election
+// picks one to act and the rest stand by.
 type Supervisor struct {
 	tr     transport.Transport
 	det    *health.Detector
@@ -62,31 +109,44 @@ type Supervisor struct {
 	reg    *metrics.Registry
 
 	events <-chan health.Event
-	stop   chan struct{}
-	done   chan struct{}
+	memCh  <-chan health.Change
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
 
 	mu      sync.Mutex
 	started bool
+	leader  bool
+	token   uint64 // lease token while leader
+	maxSeen uint64 // highest token observed cluster-wide
+	dead    map[int]*deadSlot
+	wake    chan struct{} // closed+replaced on every state change (WaitIdle)
 }
 
 // New wires a supervisor over a running detector and membership. It
-// arms the detector to watch every current member; call Start to begin
-// supervising. The detector should not be started yet (Start does it).
+// arms the detector to watch every current member and subscribes to
+// membership changes so a standby's detector follows promotions made
+// by the leader; call Start to begin supervising. The detector should
+// not be started yet (Start does it).
 func New(tr transport.Transport, det *health.Detector, mem *health.Membership, spares SparePool, cfg Config) *Supervisor {
 	s := &Supervisor{
 		tr:     tr,
 		det:    det,
 		mem:    mem,
 		spares: spares,
-		cfg:    cfg.withDefaults(),
+		cfg:    cfg.withDefaults(det),
 		reg:    metrics.NewRegistry(),
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
+		dead:   make(map[int]*deadSlot),
+		wake:   make(chan struct{}),
 	}
 	for id, addr := range mem.Addrs() {
 		det.Watch(id, addr)
 	}
 	s.events = det.Subscribe()
+	s.memCh = mem.Subscribe()
 	return s
 }
 
@@ -96,11 +156,52 @@ func New(tr transport.Transport, det *health.Detector, mem *health.Membership, s
 // enabled it also records recovery.log_restores, recovery.log_records,
 // recovery.log_bytes, recovery.log_lag (stream-position spread among
 // surviving replicas), recovery.log_missing, and
-// recovery.failed_log_restores.
+// recovery.failed_log_restores. The HA machinery adds
+// recovery.elections, recovery.lease_renewals, recovery.takeovers
+// (elections that found journaled intents), recovery.intent_resumes,
+// recovery.spare_returns (failed promotions refunding the pool),
+// recovery.dead_retries (backlogged slots healed by a late AddSpare),
+// recovery.view_repushes (rejoined members re-sent the current view),
+// and recovery.fenced_rejects (this supervisor's calls rejected as
+// deposed).
 func (s *Supervisor) Metrics() *metrics.Registry { return s.reg }
 
-// Start launches the detector and the supervision loop. It is a no-op
-// when already started.
+// ID returns the supervisor's lease identity.
+func (s *Supervisor) ID() string { return s.cfg.ID }
+
+// IsLeader reports whether this supervisor currently holds the
+// recovery lease (false once stopped).
+func (s *Supervisor) IsLeader() bool {
+	if s.stopped() {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leader
+}
+
+// Token returns the fencing token of the current (or last-held) lease.
+func (s *Supervisor) Token() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.token
+}
+
+// DeadSlots returns the dead-unrecovered backlog: slots confirmed dead
+// that no spare has been promoted into yet.
+func (s *Supervisor) DeadSlots() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.dead))
+	for slot := range s.dead {
+		out = append(out, slot)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Start launches the detector, runs a first election round, and starts
+// the supervision loop. It is a no-op when already started.
 func (s *Supervisor) Start() {
 	s.mu.Lock()
 	if s.started {
@@ -110,16 +211,18 @@ func (s *Supervisor) Start() {
 	s.started = true
 	s.mu.Unlock()
 	s.det.Start()
+	// First election immediately: a lone supervisor becomes leader with
+	// no added latency; contending candidates fall back to jittered
+	// retries in the loop.
+	s.campaign()
 	go s.loop()
 }
 
-// Close stops supervising (the detector is closed too).
+// Close stops supervising gracefully (the detector is closed too). The
+// lease is not released — it expires on its own, which is also exactly
+// what a crash looks like to the standbys.
 func (s *Supervisor) Close() error {
-	select {
-	case <-s.stop:
-	default:
-		close(s.stop)
-	}
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.det.Close() // closes the event channel, unblocking the loop
 	s.mu.Lock()
 	started := s.started
@@ -130,30 +233,92 @@ func (s *Supervisor) Close() error {
 	return nil
 }
 
+// Kill stops the supervisor abruptly — the nemesis harness's
+// supervisor crash. Unlike Close it does not wait for the loop to
+// drain: an in-flight promotion aborts at its next stage boundary,
+// leaving the journaled intent for the next leader to resume. Call
+// Close afterwards to reap the loop goroutine.
+func (s *Supervisor) Kill() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.det.Close()
+	s.wakeWaiters()
+}
+
+func (s *Supervisor) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// wakeChan returns the channel WaitIdle parks on; wakeWaiters closes
+// and replaces it on every supervisor state change.
+func (s *Supervisor) wakeChan() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.wake
+}
+
+func (s *Supervisor) wakeWaiters() {
+	s.mu.Lock()
+	close(s.wake)
+	s.wake = make(chan struct{})
+	s.mu.Unlock()
+}
+
 // WaitIdle blocks until every membership slot has been Alive — with no
 // recovery in flight — for a full detection window, or the timeout
 // expires. Requiring a quiet window rather than an instantaneous check
 // closes the race where a server just died but the detector has not
 // yet missed a probe. A workflow calls WaitIdle before re-binding
-// clients so promoted addresses are in place.
+// clients so promoted addresses are in place. The wait is event-driven:
+// it parks on supervisor wakeups (detector transitions, promotion
+// start/finish, membership changes) instead of busy-polling, so idle
+// groups cost nothing on the fault-free path.
 func (s *Supervisor) WaitIdle(timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	quiet := s.det.Window()
 	var quietSince time.Time
+	timer := time.NewTimer(quiet)
+	defer timer.Stop()
 	for {
-		if s.reg.Counter("recovery.in_flight").Value() == 0 && s.allAlive() {
+		wake := s.wakeChan()
+		idle := s.reg.Counter("recovery.in_flight").Value() == 0 && s.allAlive()
+		now := time.Now()
+		if idle {
 			if quietSince.IsZero() {
-				quietSince = time.Now()
-			} else if time.Since(quietSince) >= quiet {
+				quietSince = now
+			}
+			if now.Sub(quietSince) >= quiet {
 				return nil
 			}
 		} else {
 			quietSince = time.Time{}
 		}
-		if time.Now().After(deadline) {
+		if now.After(deadline) {
 			return fmt.Errorf("recovery: not idle after %v (states %v)", timeout, s.det.States())
 		}
-		time.Sleep(2 * time.Millisecond)
+		// Sleep until the next decision point: the quiet window filling,
+		// the deadline, or a state-change wakeup — whichever is first.
+		next := deadline.Sub(now)
+		if idle {
+			if q := quiet - now.Sub(quietSince); q < next {
+				next = q
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(next)
+		select {
+		case <-wake:
+		case <-timer.C:
+		}
 	}
 }
 
@@ -166,8 +331,24 @@ func (s *Supervisor) allAlive() bool {
 	return true
 }
 
+// renewEvery is the lease maintenance period: a third of the TTL so a
+// leader renews well before expiry, plus a per-supervisor deterministic
+// jitter so contending candidates do not campaign in lock-step.
+func (s *Supervisor) renewEvery() time.Duration {
+	ttl := s.cfg.LeaseTTL
+	every := ttl / 3
+	if span := ttl / 6; span > 0 {
+		h := fnv.New32a()
+		h.Write([]byte(s.cfg.ID))
+		every += time.Duration(h.Sum32()) % span
+	}
+	return every
+}
+
 func (s *Supervisor) loop() {
 	defer close(s.done)
+	tick := time.NewTicker(s.renewEvery())
+	defer tick.Stop()
 	for {
 		select {
 		case <-s.stop:
@@ -176,61 +357,557 @@ func (s *Supervisor) loop() {
 			if !ok {
 				return
 			}
-			if ev.State == health.Dead {
-				s.reg.Counter("recovery.in_flight").Inc()
-				s.recover(ev)
-				s.reg.Counter("recovery.in_flight").Add(-1)
-			}
+			s.handleEvent(ev)
+		case ch := <-s.memCh:
+			s.handleChange(ch)
+		case <-tick.C:
+			s.tick()
 		}
 	}
 }
 
-// recover runs the promote-and-re-protect sequence for one confirmed
-// death: spare → membership bump → view push → re-target detector →
-// client hook → shard re-protection.
-func (s *Supervisor) recover(ev health.Event) {
-	start := time.Now()
-	addr, ok := s.spares.TakeSpare()
-	if !ok {
-		// No spare: the slot stays dead. A later AddSpare plus a repeated
-		// Dead verdict cannot occur (Dead fires once); operators must
-		// restart a server at the old address instead (rejoin).
-		s.reg.Counter("recovery.no_spare").Inc()
+// tick maintains the lease — renew as leader, campaign as standby —
+// and sweeps the dead-slot backlog (which is how a slot stranded by
+// spare exhaustion heals once AddSpare refills the pool).
+func (s *Supervisor) tick() {
+	if s.stopped() {
 		return
 	}
-	// Restore the dead server's replicated event-log state onto the
-	// spare before it joins the membership, so the first epoch-stamped
-	// request it serves already sees the dead slot's queues.
-	s.restoreLog(ev.Server, addr)
-	epoch, err := s.mem.Replace(ev.Server, addr)
-	if err != nil {
+	if s.isLeader() {
+		if s.renew() {
+			s.reg.Counter("recovery.lease_renewals").Inc()
+		} else {
+			s.stepDown()
+		}
+	} else {
+		s.campaign()
+	}
+	s.sweep()
+}
+
+// handleEvent folds one liveness transition into the backlog and, as
+// leader, acts on it.
+func (s *Supervisor) handleEvent(ev health.Event) {
+	switch ev.State {
+	case health.Dead:
+		s.mu.Lock()
+		if _, ok := s.dead[ev.Server]; !ok {
+			s.dead[ev.Server] = &deadSlot{addr: ev.Addr}
+		}
+		s.mu.Unlock()
+		s.sweep()
+	case health.Alive:
+		s.mu.Lock()
+		_, wasDead := s.dead[ev.Server]
+		delete(s.dead, ev.Server)
+		leader := s.leader
+		token := s.token
+		s.mu.Unlock()
+		if wasDead && s.cfg.OnSlotDown != nil {
+			// Unconditional on heal: the supervisor that marked the slot
+			// down may have died, so any supervisor observing the heal
+			// clears the mark (clearing an unmarked slot is a no-op).
+			s.cfg.OnSlotDown(ev.Server, false)
+		}
+		// A member that was dark during a view push converges on rejoin:
+		// the leader re-sends the current view to it (a spare that died
+		// out of the membership is not re-pushed).
+		if leader {
+			addrs, epoch := s.mem.Snapshot()
+			if ev.Server >= 0 && ev.Server < len(addrs) && addrs[ev.Server] == ev.Addr {
+				if s.pushViewTo(ev.Addr, token, epoch, addrs) {
+					s.reg.Counter("recovery.view_repushes").Inc()
+				}
+			}
+		}
+	}
+	s.wakeWaiters()
+}
+
+// handleChange follows a membership write made by whichever supervisor
+// is leader: the detector re-targets the slot, and the slot leaves this
+// supervisor's backlog.
+func (s *Supervisor) handleChange(ch health.Change) {
+	s.det.SetAddr(ch.Server, ch.Addr)
+	s.mu.Lock()
+	_, wasDead := s.dead[ch.Server]
+	delete(s.dead, ch.Server)
+	s.mu.Unlock()
+	if wasDead && s.cfg.OnSlotDown != nil {
+		s.cfg.OnSlotDown(ch.Server, false)
+	}
+	s.wakeWaiters()
+}
+
+func (s *Supervisor) isLeader() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.leader
+}
+
+func (s *Supervisor) currentToken() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.token
+}
+
+// stepDown drops leadership locally; the lease expires (or has been
+// superseded) on the servers.
+func (s *Supervisor) stepDown() {
+	s.mu.Lock()
+	s.leader = false
+	s.mu.Unlock()
+	s.wakeWaiters()
+}
+
+// observeDeposed records a server-side fencing rejection: a newer
+// leader exists, so this one stops acting immediately.
+func (s *Supervisor) observeDeposed() {
+	s.reg.Counter("recovery.fenced_rejects").Inc()
+	s.stepDown()
+}
+
+// quorum is the grant count an election or renewal must exceed half
+// of: the membership minus the slots this supervisor has confirmed
+// dead (a dead member can never grant, and waiting for it would wedge
+// small groups — a 2-server group with one death could otherwise never
+// elect anyone to repair it). Competing leaders elected over
+// different subjective live-sets are still serialized by the fencing
+// tokens: the per-server CAS feeds every candidate the cluster-wide
+// token high-water mark, so the later leader's token is strictly
+// higher and fences the earlier one out of every mutation.
+func (s *Supervisor) quorum(addrs []string) int {
+	s.mu.Lock()
+	n := len(addrs)
+	for slot := range s.dead {
+		if slot >= 0 && slot < len(addrs) {
+			n--
+		}
+	}
+	s.mu.Unlock()
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// leaseRound proposes (or renews) the lease on every member and counts
+// grants, folding refused servers' token high-water marks into maxSeen
+// so the next campaign proposes past them.
+func (s *Supervisor) leaseRound(addrs []string, token uint64) int {
+	grants := 0
+	for _, addr := range addrs {
+		conn, err := s.tr.Dial(addr)
+		if err != nil {
+			continue
+		}
+		raw, err := conn.Call(staging.LeaseCASReq{Holder: s.cfg.ID, Token: token, TTL: s.cfg.LeaseTTL})
+		conn.Close()
+		if err != nil {
+			continue
+		}
+		resp, ok := raw.(staging.LeaseCASResp)
+		if !ok {
+			continue
+		}
+		s.mu.Lock()
+		if resp.MaxToken > s.maxSeen {
+			s.maxSeen = resp.MaxToken
+		}
+		s.mu.Unlock()
+		if resp.Granted {
+			grants++
+		}
+	}
+	return grants
+}
+
+// campaign runs one election round: propose maxSeen+1 to every member,
+// become leader on a majority of grants. On success the membership is
+// fenced at the new token and any journaled promotion intents from the
+// deposed leader are resumed.
+func (s *Supervisor) campaign() bool {
+	if s.stopped() {
+		return false
+	}
+	addrs := s.mem.Addrs()
+	s.mu.Lock()
+	token := s.maxSeen + 1
+	s.mu.Unlock()
+	grants := s.leaseRound(addrs, token)
+	if grants*2 <= s.quorum(addrs) {
+		// Give back any partial grants: two candidates each holding half
+		// the membership would otherwise re-extend their halves on every
+		// retry and livelock the election.
+		if grants > 0 {
+			s.releaseRound(addrs)
+		}
+		return false
+	}
+	s.mu.Lock()
+	s.leader = true
+	s.token = token
+	if token > s.maxSeen {
+		s.maxSeen = token
+	}
+	s.mu.Unlock()
+	s.reg.Counter("recovery.elections").Inc()
+	// Seal the in-process membership too, so a deposed leader sharing
+	// this Membership object cannot race a stale Replace past us.
+	s.mem.Fence(token)
+	s.wakeWaiters()
+	s.onElected(token)
+	return true
+}
+
+// renew extends the lease under the current token; losing the majority
+// means a partition or a superseding leader, either way leadership is
+// gone — the stragglers that did renew are released so a successor
+// need not wait out their TTL.
+func (s *Supervisor) renew() bool {
+	addrs := s.mem.Addrs()
+	if s.leaseRound(addrs, s.currentToken())*2 > s.quorum(addrs) {
+		return true
+	}
+	s.releaseRound(addrs)
+	return false
+}
+
+// releaseRound gives this supervisor's lease grants back on every
+// member; a record held by someone else is untouched.
+func (s *Supervisor) releaseRound(addrs []string) {
+	for _, addr := range addrs {
+		conn, err := s.tr.Dial(addr)
+		if err != nil {
+			continue
+		}
+		conn.Call(staging.LeaseCASReq{Holder: s.cfg.ID, Release: true})
+		conn.Close()
+	}
+}
+
+// onElected resumes whatever the previous leader left half-done: the
+// journaled promotion intents found on a majority of members.
+func (s *Supervisor) onElected(token uint64) {
+	intents := s.fetchIntents()
+	if len(intents) > 0 {
+		s.reg.Counter("recovery.takeovers").Inc()
+	}
+	for _, in := range intents {
+		if s.stopped() || !s.isLeader() {
+			return
+		}
+		s.resume(in)
+	}
+}
+
+// fetchIntents unions the journaled promotion intents across members,
+// keeping the highest-token record per slot.
+func (s *Supervisor) fetchIntents() []staging.PromotionIntent {
+	best := make(map[int]staging.PromotionIntent)
+	for _, addr := range s.mem.Addrs() {
+		conn, err := s.tr.Dial(addr)
+		if err != nil {
+			continue
+		}
+		raw, err := conn.Call(staging.LeaderInfoReq{})
+		conn.Close()
+		if err != nil {
+			continue
+		}
+		resp, ok := raw.(staging.LeaderInfoResp)
+		if !ok {
+			continue
+		}
+		for _, in := range resp.Intents {
+			if cur, ok := best[in.Slot]; !ok || in.Token > cur.Token {
+				best[in.Slot] = in
+			}
+		}
+	}
+	slots := make([]int, 0, len(best))
+	for slot := range best {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	out := make([]staging.PromotionIntent, 0, len(best))
+	for _, slot := range slots {
+		out = append(out, best[slot])
+	}
+	return out
+}
+
+// resume continues a promotion journaled by a deposed leader. The
+// shared spare assignment is authoritative: TakeSpareFor returns the
+// spare the deposed leader already drew for the slot, so the resumed
+// promotion can never spend a second one.
+func (s *Supervisor) resume(in staging.PromotionIntent) {
+	token := s.currentToken()
+	already := s.mem.Addr(in.Slot) == in.Spare
+	var spare string
+	if already {
+		// The membership write landed before the takeover; only the
+		// finish work (view push, intent clear, commit) is outstanding.
+		spare = in.Spare
+	} else {
+		var ok bool
+		spare, ok = s.spares.TakeSpareFor(in.Slot)
+		if !ok {
+			// The intent is stale: the deposed leader's spare was returned
+			// to the pool (failed restore) and the pool is now dry. Clear
+			// the journal; the dead-slot sweep re-promotes on refill.
+			s.clearIntent(in.Slot, token)
+			return
+		}
+	}
+	s.mu.Lock()
+	if _, ok := s.dead[in.Slot]; !ok && !already {
+		s.dead[in.Slot] = &deadSlot{addr: in.DeadAddr}
+	}
+	s.mu.Unlock()
+	s.reg.Counter("recovery.intent_resumes").Inc()
+	s.reg.Counter("recovery.in_flight").Inc()
+	s.wakeWaiters()
+	s.promote(in.Slot, in.DeadAddr, spare)
+	s.reg.Counter("recovery.in_flight").Add(-1)
+	s.wakeWaiters()
+}
+
+// sweep drives the dead-slot backlog as leader: every backlogged slot
+// gets a promotion attempt. Slots that found no spare stay backlogged
+// and are retried on every lease tick — a later AddSpare heals them
+// (recovery.dead_retries counts those late heals).
+func (s *Supervisor) sweep() {
+	if s.stopped() || !s.isLeader() {
+		return
+	}
+	s.mu.Lock()
+	slots := make([]int, 0, len(s.dead))
+	for slot := range s.dead {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	s.mu.Unlock()
+	for _, slot := range slots {
+		if s.stopped() || !s.isLeader() {
+			return
+		}
+		s.recoverSlot(slot)
+	}
+}
+
+// recoverSlot runs the promote-and-re-protect sequence for one
+// backlogged slot: spare draw → intent journal → log restore → fenced
+// membership write → fenced view push → re-target detector → client
+// hook → fenced shard re-protection.
+func (s *Supervisor) recoverSlot(slot int) {
+	s.mu.Lock()
+	d, ok := s.dead[slot]
+	if !ok {
+		s.mu.Unlock()
+		return
+	}
+	deadAddr := d.addr
+	wasStranded := d.notified
+	s.mu.Unlock()
+
+	start := time.Now()
+	s.reg.Counter("recovery.in_flight").Inc()
+	s.wakeWaiters()
+	defer func() {
+		s.reg.Counter("recovery.in_flight").Add(-1)
+		s.wakeWaiters()
+	}()
+
+	spare, ok := s.spares.TakeSpareFor(slot)
+	if !ok {
+		// Spare exhaustion: the slot enters the stranded backlog. It is
+		// re-attempted every lease tick, so a later AddSpare heals it;
+		// meanwhile OnSlotDown lets clients fail fast with ErrSlotDown.
+		s.reg.Counter("recovery.no_spare").Inc()
+		s.markStranded(slot)
+		return
+	}
+	if wasStranded {
+		s.reg.Counter("recovery.dead_retries").Inc()
+	}
+	s.promote(slot, deadAddr, spare)
+	s.reg.Counter("recovery.duration_ns").Add(time.Since(start).Nanoseconds())
+}
+
+// markStranded delivers OnSlotDown(slot, true) exactly once per death.
+func (s *Supervisor) markStranded(slot int) {
+	s.mu.Lock()
+	d, ok := s.dead[slot]
+	notify := ok && !d.notified
+	if notify {
+		d.notified = true
+	}
+	s.mu.Unlock()
+	if notify && s.cfg.OnSlotDown != nil {
+		s.cfg.OnSlotDown(slot, true)
+	}
+}
+
+// hook runs the promotion-stage hook and reports whether the promotion
+// should proceed — false once the supervisor is stopped (killed
+// mid-promotion) or deposed.
+func (s *Supervisor) hook(stage string, slot int) bool {
+	if h := s.cfg.PromotionHook; h != nil {
+		h(stage, slot)
+	}
+	return !s.stopped() && s.isLeader()
+}
+
+// promote executes (or resumes) the promotion of spare into slot. Every
+// stage is idempotent under the intent journal: a takeover re-runs the
+// sequence with the same spare, skipping the log restore once the
+// membership already points at it (the restore strictly precedes the
+// membership write, so a promoted address implies a completed restore —
+// re-installing onto a live member would wipe post-promotion writes).
+func (s *Supervisor) promote(slot int, deadAddr, spare string) {
+	token := s.currentToken()
+	intent := staging.PromotionIntent{Slot: slot, DeadAddr: deadAddr, Spare: spare, Token: token}
+	if !s.putIntent(intent, token) {
 		s.reg.Counter("recovery.failed_promotions").Inc()
 		return
 	}
-	s.reg.Counter("recovery.promotions").Inc()
+	if !s.hook("intent", slot) {
+		return
+	}
+	already := s.mem.Addr(slot) == spare
+	if !already && !s.restoreLog(slot, spare, token) {
+		// The restore failed outright (the spare is unreachable): refund
+		// the pool so another slot — or a retry — can spend the spare.
+		s.giveBack(slot, token)
+		s.reg.Counter("recovery.failed_promotions").Inc()
+		return
+	}
+	if !s.hook("restored", slot) {
+		return
+	}
+	epoch, err := s.mem.ReplaceFenced(token, slot, spare)
+	if err != nil {
+		if errors.Is(err, health.ErrFenced) {
+			s.observeDeposed()
+			return
+		}
+		s.giveBack(slot, token)
+		s.reg.Counter("recovery.failed_promotions").Inc()
+		return
+	}
+	if !already {
+		// Count the supervisor that performed the membership write; a
+		// takeover finishing an already-replaced promotion must not
+		// count it twice across the redundant set.
+		s.reg.Counter("recovery.promotions").Inc()
+	}
+	if !s.hook("replaced", slot) {
+		return
+	}
 	addrs := s.mem.Addrs()
-	s.pushView(epoch, addrs)
-	s.det.SetAddr(ev.Server, addr)
+	s.pushView(token, epoch, addrs)
+	if !s.hook("pushed", slot) {
+		return
+	}
+	s.clearIntent(slot, token)
+	s.spares.CommitSpare(slot)
+	s.det.SetAddr(slot, spare)
+	s.dropDead(slot)
 	if s.cfg.OnPromote != nil {
-		s.cfg.OnPromote(ev.Server, addr, epoch)
+		s.cfg.OnPromote(slot, spare, epoch)
 	}
 	if s.cfg.Redundancy != nil {
 		s.reprotect(addrs)
 	}
-	s.reg.Counter("recovery.duration_ns").Add(time.Since(start).Nanoseconds())
+}
+
+// dropDead removes a healed slot from the backlog, clearing its
+// stranded mark.
+func (s *Supervisor) dropDead(slot int) {
+	s.mu.Lock()
+	_, ok := s.dead[slot]
+	delete(s.dead, slot)
+	s.mu.Unlock()
+	if ok && s.cfg.OnSlotDown != nil {
+		s.cfg.OnSlotDown(slot, false)
+	}
+	s.wakeWaiters()
+}
+
+// giveBack refunds a spare the promotion could not spend, clearing the
+// journaled intent first so a takeover cannot resume onto a spare that
+// is back in the pool. A deposed leader must not refund — the new
+// leader owns the assignment now.
+func (s *Supervisor) giveBack(slot int, token uint64) {
+	if !s.isLeader() {
+		return
+	}
+	s.clearIntent(slot, token)
+	if s.spares.ReturnSpare(slot) {
+		s.reg.Counter("recovery.spare_returns").Inc()
+	}
+}
+
+// putIntent journals the promotion intent on a majority of the
+// surviving membership (the dead slot cannot ack). A fencing rejection
+// means a newer leader exists and the promotion is abandoned here.
+func (s *Supervisor) putIntent(in staging.PromotionIntent, token uint64) bool {
+	addrs := s.mem.Addrs()
+	acks, polled := 0, 0
+	for i, addr := range addrs {
+		if i == in.Slot {
+			continue
+		}
+		polled++
+		raw, err := s.fencedCall(addr, token, staging.IntentPutReq{Intent: in})
+		if err != nil {
+			if staging.IsFenced(err) {
+				s.observeDeposed()
+				return false
+			}
+			continue
+		}
+		if _, ok := raw.(staging.IntentPutResp); ok {
+			acks++
+		}
+	}
+	return acks*2 > polled
+}
+
+// clearIntent drops the journaled intent on every reachable member.
+func (s *Supervisor) clearIntent(slot int, token uint64) {
+	for _, addr := range s.mem.Addrs() {
+		if _, err := s.fencedCall(addr, token, staging.IntentClearReq{Slot: slot}); err != nil && staging.IsFenced(err) {
+			s.observeDeposed()
+			return
+		}
+	}
+}
+
+// fencedCall dials addr and issues one request under the fencing
+// token.
+func (s *Supervisor) fencedCall(addr string, token uint64, req any) (any, error) {
+	conn, err := s.tr.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	return conn.Call(staging.FencedReq{Token: token, Req: req})
 }
 
 // restoreLog restores the dead slot's replicated event-log state onto
 // the spare: every surviving member is asked for the replica it hosts
 // of that slot, the freshest answer — the highest stream position —
 // wins (ties go to the lowest-numbered responder), and it is installed
-// on the spare with a bare WlogInstallReq before the membership moves.
-// Flush-before-ack on the origin guarantees the freshest surviving
-// replica holds every acknowledged operation. Finding no replica is
-// not fatal — the slot comes up empty, the pre-replication behavior —
-// but it is counted, because with replication enabled it means the
-// queues died with the server.
-func (s *Supervisor) restoreLog(deadSlot int, spareAddr string) {
+// on the spare with a fenced WlogInstallReq before the membership
+// moves. Flush-before-ack on the origin guarantees the freshest
+// surviving replica holds every acknowledged operation. Finding no
+// replica is not fatal — the slot comes up empty, the pre-replication
+// behavior — but it is counted, because with replication enabled it
+// means the queues died with the server. It reports whether the
+// promotion may proceed.
+func (s *Supervisor) restoreLog(deadSlot int, spareAddr string, token uint64) bool {
 	addrs := s.mem.Addrs()
 	var best *staging.ReplState
 	minSeq, maxSeq := int64(-1), int64(-1)
@@ -262,17 +939,20 @@ func (s *Supervisor) restoreLog(deadSlot int, spareAddr string) {
 	}
 	if best == nil {
 		s.reg.Counter("recovery.log_missing").Inc()
-		return
+		return true
 	}
-	conn, err := s.tr.Dial(spareAddr)
+	raw, err := s.fencedCall(spareAddr, token, staging.WlogInstallReq{Slot: deadSlot, State: *best})
 	if err != nil {
+		if staging.IsFenced(err) {
+			s.observeDeposed()
+			return false
+		}
 		s.reg.Counter("recovery.failed_log_restores").Inc()
-		return
+		return false
 	}
-	defer conn.Close()
-	if _, err := conn.Call(staging.WlogInstallReq{Slot: deadSlot, State: *best}); err != nil {
+	if _, ok := raw.(staging.WlogInstallResp); !ok {
 		s.reg.Counter("recovery.failed_log_restores").Inc()
-		return
+		return false
 	}
 	restored := int64(len(best.Wlog))
 	for _, o := range best.Objects {
@@ -282,21 +962,34 @@ func (s *Supervisor) restoreLog(deadSlot int, spareAddr string) {
 	s.reg.Counter("recovery.log_records").Add(best.Seq)
 	s.reg.Counter("recovery.log_bytes").Add(restored)
 	s.reg.Counter("recovery.log_lag").Add(maxSeq - minSeq)
+	return true
 }
 
 // pushView installs the new membership on every member, including the
 // promoted spare (which clears its spare flag). Unreachable members are
-// skipped; they adopt the view on rejoin via their own MembershipReq
-// exchange or the next push.
-func (s *Supervisor) pushView(epoch uint64, addrs []string) {
+// skipped; they adopt the view on rejoin — the leader re-pushes it when
+// the detector reports them Alive again — or via their own
+// MembershipReq exchange.
+func (s *Supervisor) pushView(token uint64, epoch uint64, addrs []string) {
 	for _, addr := range addrs {
-		conn, err := s.tr.Dial(addr)
-		if err != nil {
-			continue
+		if !s.isLeader() {
+			return
 		}
-		conn.Call(staging.EpochSetReq{Epoch: epoch, Addrs: addrs})
-		conn.Close()
+		s.pushViewTo(addr, token, epoch, addrs)
 	}
+}
+
+// pushViewTo sends one fenced view install, reporting success.
+func (s *Supervisor) pushViewTo(addr string, token uint64, epoch uint64, addrs []string) bool {
+	raw, err := s.fencedCall(addr, token, staging.EpochSetReq{Epoch: epoch, Addrs: addrs})
+	if err != nil {
+		if staging.IsFenced(err) {
+			s.observeDeposed()
+		}
+		return false
+	}
+	_, ok := raw.(staging.EpochSetResp)
+	return ok
 }
 
 // reprotectAttempts bounds the re-protection retry loop: a rebuild can
@@ -326,9 +1019,12 @@ func (s *Supervisor) reprotect(addrs []string) {
 // reprotectOnce runs one re-protection pass: union the shard keys held
 // by reachable members, rebuild each with bounded parallelism. Rebuild
 // reads any K surviving shards and re-writes only the missing ones, so
-// keys untouched by the failure cost one round of reads. It reports
-// whether the pass fully restored redundancy.
+// keys untouched by the failure cost one round of reads. The shard
+// writes go through fenced connections, so a deposed leader's rebuild
+// cannot dirty the group. It reports whether the pass fully restored
+// redundancy.
 func (s *Supervisor) reprotectOnce(addrs []string) bool {
+	token := s.currentToken()
 	clean := true
 	conns := make([]transport.Client, len(addrs))
 	for i, addr := range addrs {
@@ -340,7 +1036,7 @@ func (s *Supervisor) reprotectOnce(addrs []string) bool {
 			clean = false
 			continue
 		}
-		conns[i] = conn
+		conns[i] = fencedConn{inner: conn, token: token}
 	}
 	defer closeAll(conns)
 
@@ -349,6 +1045,10 @@ func (s *Supervisor) reprotectOnce(addrs []string) bool {
 	for _, conn := range conns {
 		raw, err := conn.Call(staging.ShardKeysReq{})
 		if err != nil {
+			if staging.IsFenced(err) {
+				s.observeDeposed()
+				return true // the new leader re-protects
+			}
 			continue // dead or lagging member; survivors cover its keys
 		}
 		resp, ok := raw.(staging.ShardKeysResp)
@@ -399,6 +1099,18 @@ func (s *Supervisor) reprotectOnce(addrs []string) bool {
 	}
 	return clean
 }
+
+// fencedConn wraps a transport client so every call carries the
+// leader's fencing token.
+type fencedConn struct {
+	inner transport.Client
+	token uint64
+}
+
+func (f fencedConn) Call(req any) (any, error) {
+	return f.inner.Call(staging.FencedReq{Token: f.token, Req: req})
+}
+func (f fencedConn) Close() error { return f.inner.Close() }
 
 // deadClient stands in for a member that cannot be dialled during a
 // re-protection pass; every call fails like the dead server would.

@@ -18,6 +18,15 @@ import (
 // fail over" from protocol errors via errors.Is.
 var ErrDegraded = errors.New("staging: degraded: server unreachable")
 
+// ErrSlotDown reports that a membership slot is confirmed dead with no
+// spare left to promote: the recovery supervisor has the slot in its
+// dead-unrecovered backlog and will heal it when the spare pool is
+// refilled (AddSpare) or the server rejoins. Unlike ErrDegraded — a
+// transient transport verdict — ErrSlotDown is an authoritative
+// supervisor verdict, surfaced immediately instead of after a retry
+// storm against a dead address.
+var ErrSlotDown = errors.New("staging: slot down: dead with no spare, awaiting pool refill")
+
 // wrapCall classifies a failed server call: transient transport faults
 // that survived the retry layer surface as ErrDegraded, everything else
 // stays a plain staging error.
@@ -75,11 +84,13 @@ type Pool struct {
 	index *dht.Index
 	tr    transport.Transport
 
-	// mu guards the membership view: the slot addresses and the epoch
-	// clients stamp their calls with.
+	// mu guards the membership view: the slot addresses, the epoch
+	// clients stamp their calls with, and the slots the recovery
+	// supervisor has marked dead-unrecovered.
 	mu    sync.Mutex
 	addrs []string
 	epoch uint64
+	down  map[int]bool
 
 	// cellMu guards cells, a lazily built cache of the sub-boxes each
 	// server owns; the pool is shared by all of a component's clients.
@@ -138,6 +149,34 @@ func (p *Pool) SetMember(id int, addr string, epoch uint64) {
 	}
 	p.addrs[id] = addr
 	p.epoch = epoch
+	delete(p.down, id) // a promoted slot is reachable again
+}
+
+// MarkSlotDown records (down=true) or clears (down=false) the recovery
+// supervisor's verdict that slot id is dead with no spare available.
+// While marked, client calls touching the slot fail fast with
+// ErrSlotDown instead of timing out against the dead address.
+func (p *Pool) MarkSlotDown(id int, down bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.addrs) {
+		return
+	}
+	if down {
+		if p.down == nil {
+			p.down = make(map[int]bool)
+		}
+		p.down[id] = true
+		return
+	}
+	delete(p.down, id)
+}
+
+// SlotDown reports whether slot id is marked dead-unrecovered.
+func (p *Pool) SlotDown(id int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down[id]
 }
 
 // adopt replaces the whole membership view when the servers hold a
@@ -243,6 +282,9 @@ func (c *Client) Reconnect() error {
 // moved) and retries once. A second redirect (a promotion raced the
 // retry) surfaces to the caller.
 func (c *Client) call(s int, req any) (any, error) {
+	if c.pool.SlotDown(s) {
+		return nil, fmt.Errorf("%w: server %d", ErrSlotDown, s)
+	}
 	raw, err := c.conns[s].Call(EpochReq{Epoch: c.pool.Epoch(), Req: req})
 	if err == nil {
 		return raw, nil
@@ -522,6 +564,7 @@ func (c *Client) Stats() (StatsResp, error) {
 		agg.ReplicaSlots += st.ReplicaSlots
 		agg.ReplicaBytes += st.ReplicaBytes
 		agg.ReplicaRecords += st.ReplicaRecords
+		agg.FencedRejects += st.FencedRejects
 		if st.Epoch > agg.Epoch {
 			agg.Epoch = st.Epoch
 		}

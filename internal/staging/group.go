@@ -25,6 +25,13 @@ type Group struct {
 	servers []*Server
 	closers []io.Closer
 	spares  []spareEntry
+	// assigned maps a dead membership slot to the spare drawn for its
+	// promotion. The assignment is idempotent (TakeSpareFor returns the
+	// same spare until the promotion commits or the spare is returned),
+	// which is what lets a recovery-leader takeover resume a half-done
+	// promotion without double-spending a second spare on the slot.
+	assigned map[int]spareEntry
+	spareSeq int // monotonic spare address counter (survives returns)
 }
 
 // spareEntry is one warm spare: a running, empty server outside the
@@ -90,7 +97,8 @@ func (g *Group) Membership() *health.Membership { return g.membership }
 // it. It returns the spare's address.
 func (g *Group) AddSpare() (string, error) {
 	g.mu.Lock()
-	n := len(g.spares)
+	n := g.spareSeq
+	g.spareSeq++
 	id := len(g.servers) + n // spare keeps its own id; slots are bound by address
 	g.mu.Unlock()
 	srv := NewServer(id)
@@ -118,10 +126,16 @@ func (g *Group) AddSpare() (string, error) {
 }
 
 // TakeSpare pops the next warm spare for promotion, returning its
-// address. It is the recovery.SparePool the supervisor draws from.
+// address. It is the legacy non-idempotent draw; the recovery
+// supervisor uses TakeSpareFor so a resumed promotion re-reads the
+// same assignment.
 func (g *Group) TakeSpare() (string, bool) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	return g.takeLocked()
+}
+
+func (g *Group) takeLocked() (string, bool) {
 	if len(g.spares) == 0 {
 		return "", false
 	}
@@ -133,6 +147,75 @@ func (g *Group) TakeSpare() (string, bool) {
 	g.closers = append(g.closers, e.closer)
 	g.addrs = append(g.addrs, e.addr)
 	return e.addr, true
+}
+
+// TakeSpareFor draws a spare for the promotion of a dead membership
+// slot. The draw is idempotent: until CommitSpare or ReturnSpare, the
+// slot keeps the same spare, so a recovery-leader takeover that
+// resumes a half-done promotion gets the spare the deposed leader
+// already spent — never a second one. It is the recovery.SparePool the
+// supervisor draws from.
+func (g *Group) TakeSpareFor(slot int) (string, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if e, ok := g.assigned[slot]; ok {
+		return e.addr, true
+	}
+	if len(g.spares) == 0 {
+		return "", false
+	}
+	e := g.spares[0]
+	if _, ok := g.takeLocked(); !ok {
+		return "", false
+	}
+	if g.assigned == nil {
+		g.assigned = make(map[int]spareEntry)
+	}
+	g.assigned[slot] = e
+	return e.addr, true
+}
+
+// ReturnSpare puts the spare assigned to slot back in the pool — the
+// promotion failed before the spare entered the membership (log
+// restore or membership write failed). It reports whether a spare was
+// actually returned.
+func (g *Group) ReturnSpare(slot int) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	e, ok := g.assigned[slot]
+	if !ok {
+		return false
+	}
+	delete(g.assigned, slot)
+	// Undo the member tracking takeLocked added (search from the end:
+	// spares append after the original members).
+	for i := len(g.addrs) - 1; i >= 0; i-- {
+		if g.addrs[i] == e.addr {
+			g.addrs = append(g.addrs[:i], g.addrs[i+1:]...)
+			g.servers = append(g.servers[:i], g.servers[i+1:]...)
+			g.closers = append(g.closers[:i], g.closers[i+1:]...)
+			break
+		}
+	}
+	g.spares = append(g.spares, e)
+	return true
+}
+
+// CommitSpare finalizes the promotion of slot: the assignment is
+// dropped, so a later death of the same slot draws a fresh spare.
+func (g *Group) CommitSpare(slot int) {
+	g.mu.Lock()
+	delete(g.assigned, slot)
+	g.mu.Unlock()
+}
+
+// SparesConsumed reports how many spares have been permanently drawn
+// from the pool (taken and not returned) — the nemesis harness's
+// no-double-spend invariant counts it against the number of deaths.
+func (g *Group) SparesConsumed() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.spareSeq - len(g.spares)
 }
 
 // Spares returns the addresses of the remaining unpromoted spares.

@@ -10,6 +10,7 @@ package staging
 
 import (
 	"encoding/gob"
+	"time"
 
 	"gospaces/internal/domain"
 	"gospaces/internal/locks"
@@ -331,6 +332,90 @@ type WlogInstallResp struct {
 	Records int64
 }
 
+// FencedReq is the recovery-leadership envelope: it wraps a
+// recovery-side mutation (EpochSetReq, WlogInstallReq, shard writes,
+// intent journal updates) with the sender's fencing token. A server
+// that has granted a lease with a higher token — a newer leader exists
+// — rejects the call with FencedError, so a deposed supervisor's stale
+// mutations can never land after a takeover.
+type FencedReq struct {
+	Token uint64
+	Req   any
+}
+
+// LeaseCASReq is the leader-election compare-and-swap: supervisor
+// Holder proposes to hold the recovery lease under Token for TTL. The
+// proposal is granted when the server's lease record is free (empty or
+// expired) or already held by Holder, and Token is not behind the
+// highest token the server has seen. A supervisor is leader while a
+// majority of the membership grants its lease.
+//
+// Release set makes the call the inverse: Holder gives back its grant
+// (a no-op when the record is held by someone else). A candidate that
+// fails to reach a majority must release — two candidates each holding
+// half the grants would otherwise re-extend their halves on every
+// retry and livelock the election.
+type LeaseCASReq struct {
+	Holder  string
+	Token   uint64
+	TTL     time.Duration
+	Release bool
+}
+
+// LeaseCASResp reports the CAS outcome. On refusal, Holder/Token name
+// the lease the server holds and MaxToken is the highest token it has
+// seen — the candidate proposes MaxToken+1 next round.
+type LeaseCASResp struct {
+	Granted   bool
+	Holder    string
+	Token     uint64
+	MaxToken  uint64
+	ExpiresIn time.Duration
+}
+
+// PromotionIntent journals one in-flight spare promotion: the leader
+// writes it to the membership (fenced) before mutating anything, so a
+// standby that takes over mid-promotion resumes the same slot with the
+// same spare — idempotently, with no double-spent spare.
+type PromotionIntent struct {
+	Slot     int
+	DeadAddr string
+	Spare    string
+	Token    uint64
+}
+
+// IntentPutReq journals a promotion intent on a member (sent fenced).
+type IntentPutReq struct {
+	Intent PromotionIntent
+}
+
+// IntentPutResp acknowledges the journal write.
+type IntentPutResp struct{}
+
+// IntentClearReq drops the journaled intent for Slot once the
+// promotion has fully completed (sent fenced).
+type IntentClearReq struct {
+	Slot int
+}
+
+// IntentClearResp acknowledges the clear.
+type IntentClearResp struct{}
+
+// LeaderInfoReq asks a server for its recovery-leadership view: the
+// lease record, the fence, and the journaled promotion intents. A
+// freshly elected leader unions the answers to resume half-done
+// promotions; dsctl leader renders them.
+type LeaderInfoReq struct{}
+
+// LeaderInfoResp is one server's leadership view.
+type LeaderInfoResp struct {
+	Holder    string
+	Token     uint64
+	MaxFence  uint64
+	ExpiresIn time.Duration
+	Intents   []PromotionIntent
+}
+
 // TraceReq fetches the server's recent protocol trace.
 type TraceReq struct {
 	// Limit caps the records returned (0 = all retained).
@@ -371,6 +456,10 @@ type StatsResp struct {
 	ReplicaSlots   int
 	ReplicaBytes   int64
 	ReplicaRecords int64
+	// FencedRejects counts recovery-side mutations rejected because the
+	// caller's fencing token trailed the server's fence — evidence a
+	// deposed leader tried to keep mutating after a takeover.
+	FencedRejects int64
 }
 
 func init() {
@@ -411,4 +500,14 @@ func init() {
 	gob.Register(ReplFetchResp{})
 	gob.Register(WlogInstallReq{})
 	gob.Register(WlogInstallResp{})
+	gob.Register(FencedReq{})
+	gob.Register(LeaseCASReq{})
+	gob.Register(LeaseCASResp{})
+	gob.Register(PromotionIntent{})
+	gob.Register(IntentPutReq{})
+	gob.Register(IntentPutResp{})
+	gob.Register(IntentClearReq{})
+	gob.Register(IntentClearResp{})
+	gob.Register(LeaderInfoReq{})
+	gob.Register(LeaderInfoResp{})
 }

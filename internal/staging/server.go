@@ -57,6 +57,11 @@ type Server struct {
 	addr        string
 	spare       bool
 
+	// lease is the server-side half of recovery-leader election: the
+	// lease record, the fencing token, and the journaled promotion
+	// intents (fence.go).
+	lease leaseState
+
 	// Log replication (repl.go). repl is the origin side (nil when
 	// disabled); replicas holds the peer-slot replicas this server
 	// hosts; replMu serializes logged-path log/store mutations with
@@ -156,6 +161,24 @@ func (s *Server) Handle(req any) (any, error) {
 		resp := health.PingResp{ID: s.id, Epoch: s.epoch, Spare: s.spare}
 		s.memberMu.Unlock()
 		return resp, nil
+	case FencedReq:
+		// Recovery-leadership envelope: reject mutations from a deposed
+		// leader (token behind the fence), raise the fence otherwise.
+		if err := s.lease.admit(r.Token); err != nil {
+			s.reg.Counter("fenced_rejects").Inc()
+			return nil, err
+		}
+		return s.Handle(r.Req)
+	case LeaseCASReq:
+		return s.lease.cas(r, time.Now()), nil
+	case IntentPutReq:
+		s.lease.putIntent(r.Intent)
+		return IntentPutResp{}, nil
+	case IntentClearReq:
+		s.lease.clearIntent(r.Slot)
+		return IntentClearResp{}, nil
+	case LeaderInfoReq:
+		return s.lease.info(time.Now()), nil
 	case EpochSetReq:
 		s.SetMembership(r.Epoch, r.Addrs)
 		return EpochSetResp{Epoch: s.Epoch()}, nil
@@ -593,5 +616,6 @@ func (s *Server) stats() StatsResp {
 		RebuiltShards:  s.reg.Counter("rebuilt_shards").Value(),
 		RebuiltBytes:   s.reg.Counter("rebuilt_bytes").Value(),
 		Epoch:          s.Epoch(),
+		FencedRejects:  s.reg.Counter("fenced_rejects").Value(),
 	}
 }

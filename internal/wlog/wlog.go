@@ -192,6 +192,24 @@ func (l *Log) BeginPut(app, name string, version int64, bbox domain.BBox) (suppr
 	defer l.mu.Unlock()
 	q := l.queue(app)
 	if !q.replaying {
+		// Idempotent retry: a client that lost a response (or aborted a
+		// multi-server put partway) re-issues the identical write, and
+		// versions are write-once — logging it twice would make a later
+		// replay, which re-executes the op once, diverge on the duplicate
+		// record. A version's pieces arrive as a contiguous run (the
+		// client blocks on the put until every piece lands), so scanning
+		// back through the same-version tail finds the original record of
+		// any retried piece. The payload already landed with it, so the
+		// caller skips the store write too.
+		for i := len(q.events) - 1; i >= 0; i-- {
+			e := q.events[i]
+			if e.Kind != KindPut || e.Version != version {
+				break
+			}
+			if e.Name == name && e.BBox.Equal(bbox) {
+				return true, nil
+			}
+		}
 		return false, nil
 	}
 	if q.cursor >= len(q.events) {

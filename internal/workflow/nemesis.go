@@ -1,0 +1,469 @@
+package workflow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/failure"
+	"gospaces/internal/health"
+	"gospaces/internal/recovery"
+	"gospaces/internal/staging"
+	"gospaces/internal/transport"
+	"gospaces/internal/wlog"
+)
+
+// NemesisOptions configures one seeded nemesis soak: a staging group
+// with redundant recovery supervisors, a logged producer/consumer data
+// path, and a nemesis concurrently killing staging servers and
+// supervisors on a randomized schedule while the standing invariants
+// are checked.
+type NemesisOptions struct {
+	// Seed drives every random choice; a given seed replays the same run.
+	Seed int64
+	// Servers is the staging-group size (default 4).
+	Servers int
+	// Spares is the warm-spare pool size (default 2).
+	Spares int
+	// Supervisors is the redundant supervisor count (default 3). The
+	// last supervisor is never nemesis-killed, so the group can always
+	// heal.
+	Supervisors int
+	// Steps is the number of logged versions the producer writes
+	// (default 8).
+	Steps int
+	// Deaths is how many staging servers fail-stop permanently, capped
+	// at Spares (default 1).
+	Deaths int
+	// Kills is how many leader supervisors the nemesis kills
+	// mid-promotion (default 1; capped at Supervisors-1).
+	Kills int
+	// KillStage picks the promotion stage the leader dies at: "intent",
+	// "restored", "replaced", or "pushed". "stall" stalls the leader
+	// instead of killing it, long enough to be deposed, so its resumed
+	// stale calls demonstrate server-side fencing. Empty rotates by
+	// seed.
+	KillStage string
+	// SpareDelay starts the pool empty and refills it only after the
+	// first death has been confirmed unrecoverable (recovery.no_spare),
+	// exercising the dead-slot backlog heal.
+	SpareDelay bool
+	// Chaos adds a seeded schedule of transient server blackouts on top
+	// of the deterministic deaths.
+	Chaos int
+}
+
+// NemesisResult is the observable outcome a soak test asserts on.
+type NemesisResult struct {
+	Deaths         int    // staging servers permanently killed
+	Promotions     int64  // membership writes performed, summed across supervisors
+	SparesConsumed int    // spares permanently drawn from the pool
+	Takeovers      int64  // elections that found journaled intents to resume
+	IntentResumes  int64  // promotions resumed from a deposed leader's journal
+	SpareReturns   int64  // failed promotions that refunded the pool
+	DeadRetries    int64  // backlogged slots healed by a late AddSpare
+	Elections      int64  // lease grants, summed across supervisors
+	SupFenced      int64  // supervisor-observed fencing rejections
+	ServerFenced   int64  // server-side fenced-call rejections
+	Leaders        int    // supervisors holding the lease at the end
+	ReplayEvents   int    // events replayed through the restored logs
+	ReplayDiverged bool   // any re-issued write diverged from the event log
+	Epoch          uint64 // final membership epoch
+	DownObserved   bool   // a client saw ErrSlotDown while the slot was stranded
+}
+
+var nemesisStages = []string{"intent", "restored", "replaced", "pushed"}
+
+func (o *NemesisOptions) defaults() {
+	if o.Servers <= 0 {
+		o.Servers = 4
+	}
+	if o.Spares <= 0 {
+		o.Spares = 2
+	}
+	if o.Supervisors <= 0 {
+		o.Supervisors = 3
+	}
+	if o.Steps <= 0 {
+		o.Steps = 8
+	}
+	if o.Deaths <= 0 {
+		o.Deaths = 1
+	}
+	if o.Deaths > o.Spares {
+		o.Deaths = o.Spares
+	}
+	if o.Kills <= 0 {
+		o.Kills = 1
+	}
+	if o.Kills >= o.Supervisors {
+		o.Kills = o.Supervisors - 1
+	}
+	if o.KillStage == "" {
+		o.KillStage = nemesisStages[int(o.Seed%int64(len(nemesisStages))+int64(len(nemesisStages)))%len(nemesisStages)]
+	}
+}
+
+// nemesisPayload is the deterministic byte pattern for one version, so
+// every read is verifiable byte-exactly without remembering writes.
+func nemesisPayload(version, n int64) []byte {
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(int64(i)*7 + version*131 + 1)
+	}
+	return data
+}
+
+// RunNemesis executes one seeded nemesis soak and returns the
+// measured outcome; assertion lives in the caller. The run is
+// deterministic up to goroutine scheduling: all fault choices derive
+// from the seed.
+func RunNemesis(o NemesisOptions) (NemesisResult, error) {
+	o.defaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+	var res NemesisResult
+
+	tr := transport.NewChaos(transport.NewInProc(), o.Seed)
+	global := domain.Box3(0, 0, 0, 63, 63, 0)
+	group, err := staging.StartGroup(tr, fmt.Sprintf("nemesis/%d", o.Seed), staging.Config{
+		Global:       global,
+		NServers:     o.Servers,
+		Bits:         2,
+		ElemSize:     1,
+		WlogReplicas: 2,
+	})
+	if err != nil {
+		return res, err
+	}
+	defer group.Close()
+	if !o.SpareDelay {
+		for i := 0; i < o.Spares; i++ {
+			if _, err := group.AddSpare(); err != nil {
+				return res, err
+			}
+		}
+	}
+
+	// Redundant supervisors with fast detectors; the lease TTL is a few
+	// detection windows so a takeover lands quickly enough for a short
+	// soak.
+	const leaseTTL = 150 * time.Millisecond
+	sups := make([]*recovery.Supervisor, o.Supervisors)
+	killed := make([]bool, o.Supervisors)
+	var killMu sync.Mutex
+	killsLeft := o.Kills
+	for i := 0; i < o.Supervisors; i++ {
+		i := i
+		id := fmt.Sprintf("nemesis/sup/%d", i)
+		det := health.NewDetector(tr, id, health.Config{
+			Period:       5 * time.Millisecond,
+			Timeout:      25 * time.Millisecond,
+			SuspectAfter: 2,
+			DeadAfter:    4,
+		})
+		cfg := recovery.Config{
+			ID:       id,
+			LeaseTTL: leaseTTL,
+			OnPromote: func(slot int, addr string, epoch uint64) {
+				group.Pool.SetMember(slot, addr, epoch)
+			},
+			OnSlotDown: func(slot int, down bool) {
+				group.Pool.MarkSlotDown(slot, down)
+			},
+		}
+		cfg.PromotionHook = func(stage string, slot int) {
+			if stage != o.KillStage && o.KillStage != "stall" {
+				return
+			}
+			killMu.Lock()
+			if killsLeft <= 0 || i == o.Supervisors-1 {
+				killMu.Unlock()
+				return
+			}
+			if o.KillStage == "stall" && stage != "replaced" {
+				killMu.Unlock()
+				return
+			}
+			killsLeft--
+			if o.KillStage != "stall" {
+				killed[i] = true
+			}
+			killMu.Unlock()
+			if o.KillStage == "stall" {
+				// Stall past the lease: a standby is elected and finishes
+				// the promotion; when this leader resumes, its next fenced
+				// call (the view push) is rejected server-side.
+				time.Sleep(3 * leaseTTL)
+				return
+			}
+			sups[i].Kill()
+		}
+		sups[i] = recovery.New(tr, det, group.Membership(), group, cfg)
+		sups[i].Start()
+		defer sups[i].Close()
+	}
+
+	// Optional transient chaos riding on top of the deterministic
+	// deaths: blackouts against servers, random supervisor kills within
+	// the kill budget.
+	if o.Chaos > 0 {
+		sched, err := failure.Nemesis(o.Seed, o.Chaos, 300*time.Millisecond, 40*time.Millisecond, o.Servers, o.Supervisors-1)
+		if err != nil {
+			return res, err
+		}
+		addrs := group.Addrs()
+		start := time.Now()
+		for _, inj := range sched {
+			inj := inj
+			switch inj.Kind {
+			case failure.ServerCrash:
+				time.AfterFunc(inj.At-time.Since(start), func() {
+					tr.Blackout(addrs[inj.Server], inj.Duration)
+				})
+			case failure.SupervisorKill:
+				time.AfterFunc(inj.At-time.Since(start), func() {
+					killMu.Lock()
+					ok := killsLeft > 0 && !killed[inj.Server] && inj.Server != o.Supervisors-1
+					if ok {
+						killsLeft--
+						killed[inj.Server] = true
+					}
+					killMu.Unlock()
+					if ok {
+						sups[inj.Server].Kill()
+					}
+				})
+			default:
+				// Permanent fail-stops stay deterministic (bounded by the
+				// spare pool); skip schedule-driven ones.
+			}
+		}
+	}
+
+	// Spare-exhaustion heal: the pool starts empty, so the death strands
+	// its slot (recovery.no_spare fires, clients see ErrSlotDown); a
+	// concurrent late refill lets the backlog sweep promote. It must run
+	// alongside the producer — writes touching the stranded slot cannot
+	// finish until the pool refills.
+	spareErr := make(chan error, 1)
+	if o.SpareDelay {
+		go func() {
+			if err := waitCounter(sups, "recovery.no_spare", 10*time.Second); err != nil {
+				spareErr <- err
+				return
+			}
+			time.Sleep(150 * time.Millisecond) // hold the stranding window open
+			for i := 0; i < o.Spares; i++ {
+				if _, err := group.AddSpare(); err != nil {
+					spareErr <- err
+					return
+				}
+			}
+			spareErr <- nil
+		}()
+	} else {
+		spareErr <- nil
+	}
+
+	prod, err := group.NewClient("nemesis/prod")
+	if err != nil {
+		return res, err
+	}
+	defer prod.Close()
+
+	// Producer phase: logged writes spread over the fault window, with
+	// the deaths injected between versions. Writes retry through
+	// degraded staging exactly like workflow ranks do.
+	deathAt := make(map[int]int) // version index -> slot
+	deadOrder := rng.Perm(o.Servers)
+	for d := 0; d < o.Deaths; d++ {
+		v := 2 + d*(o.Steps-3)/maxInt(1, o.Deaths)
+		deathAt[v] = deadOrder[d]
+	}
+	for v := 1; v <= o.Steps; v++ {
+		if slot, ok := deathAt[v]; ok {
+			if err := group.FailStop(slot); err != nil {
+				return res, err
+			}
+			res.Deaths++
+		}
+		data := nemesisPayload(int64(v), global.Volume())
+		if err := nemesisRetry(10*time.Second, &res, func() error {
+			if err := prod.PutWithLog("nemesis/field", int64(v), global, data); err != nil {
+				prod.Reconnect()
+				return err
+			}
+			return nil
+		}); err != nil {
+			return res, fmt.Errorf("put v%d: %w", v, err)
+		}
+		time.Sleep(time.Duration(rng.Intn(8)) * time.Millisecond)
+	}
+
+	if err := <-spareErr; err != nil {
+		return res, err
+	}
+
+	// Heal phase: a never-killed supervisor drains the backlog.
+	survivor := sups[o.Supervisors-1]
+	if err := survivor.WaitIdle(20 * time.Second); err != nil {
+		return res, err
+	}
+
+	// Consumer phase: every version reads back byte-exactly through the
+	// (possibly restored) logs.
+	cons, err := group.NewClient("nemesis/cons")
+	if err != nil {
+		return res, err
+	}
+	defer cons.Close()
+	for v := 1; v <= o.Steps; v++ {
+		want := nemesisPayload(int64(v), global.Volume())
+		if err := nemesisRetry(10*time.Second, &res, func() error {
+			got, _, err := cons.GetWithLog("nemesis/field", int64(v), global)
+			if err != nil {
+				cons.Reconnect()
+				return err
+			}
+			if !bytes.Equal(got, want) {
+				return fmt.Errorf("nemesis: version %d read back %d bytes, mismatch", v, len(got))
+			}
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+
+	// Replay phase: the producer restarts and re-issues every logged
+	// write; the servers must suppress them all byte-exactly — any
+	// divergence from the restored log is the torn-recovery failure the
+	// whole design exists to prevent.
+	replayed, err := prod.WorkflowRestart()
+	if err != nil {
+		return res, err
+	}
+	res.ReplayEvents = replayed
+	for v := 1; v <= o.Steps; v++ {
+		data := nemesisPayload(int64(v), global.Volume())
+		if err := nemesisRetry(10*time.Second, &res, func() error {
+			err := prod.PutWithLog("nemesis/field", int64(v), global, data)
+			if errors.Is(err, wlog.ErrReplayDivergence) {
+				res.ReplayDiverged = true
+				return nil
+			}
+			if err != nil {
+				prod.Reconnect()
+			}
+			return err
+		}); err != nil {
+			return res, fmt.Errorf("replay v%d: %w", v, err)
+		}
+	}
+
+	// Settle: the lease must converge on exactly one holder — a leader
+	// killed at the tail of a promotion leaves takeover (and the
+	// journaled-intent cleanup) to a successor elected after the data
+	// phases already finished — and a stalled leader must wake, fire its
+	// stale fenced calls, and observe its deposition before the
+	// single-holder invariant is judged.
+	var leader *recovery.Supervisor
+	settle := time.Now().Add(8 * time.Second)
+	for {
+		leaders := 0
+		var fenced int64
+		leader = nil
+		for _, sup := range sups {
+			if sup.IsLeader() {
+				leaders++
+				leader = sup
+			}
+			fenced += sup.Metrics().Counter("recovery.fenced_rejects").Value()
+		}
+		if leaders == 1 && (o.KillStage != "stall" || fenced > 0) {
+			break
+		}
+		if time.Now().After(settle) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leader != nil {
+		// Let a freshly elected leader finish any promotion it resumed
+		// from the journal.
+		if err := leader.WaitIdle(10 * time.Second); err != nil {
+			return res, err
+		}
+	}
+
+	// Harvest: metrics, lease state, server-side fencing stats.
+	for _, sup := range sups {
+		m := sup.Metrics()
+		res.Promotions += m.Counter("recovery.promotions").Value()
+		res.Takeovers += m.Counter("recovery.takeovers").Value()
+		res.IntentResumes += m.Counter("recovery.intent_resumes").Value()
+		res.SpareReturns += m.Counter("recovery.spare_returns").Value()
+		res.DeadRetries += m.Counter("recovery.dead_retries").Value()
+		res.Elections += m.Counter("recovery.elections").Value()
+		res.SupFenced += m.Counter("recovery.fenced_rejects").Value()
+		if sup.IsLeader() {
+			res.Leaders++
+		}
+	}
+	res.SparesConsumed = group.SparesConsumed()
+	res.Epoch = group.Membership().Epoch()
+	stats, err := cons.Stats()
+	if err != nil {
+		return res, err
+	}
+	res.ServerFenced = stats.FencedRejects
+	return res, nil
+}
+
+// nemesisRetry retries fn until it succeeds or the deadline passes,
+// recording whether a stranded slot was observed en route. Any error is
+// retryable during a soak: degraded staging, stale epochs, blackouts,
+// and promotions in flight all heal.
+func nemesisRetry(timeout time.Duration, res *NemesisResult, fn func() error) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		err := fn()
+		if err == nil {
+			return nil
+		}
+		if errors.Is(err, staging.ErrSlotDown) {
+			res.DownObserved = true
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// waitCounter blocks until any supervisor's named counter goes
+// positive.
+func waitCounter(sups []*recovery.Supervisor, name string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, sup := range sups {
+			if sup.Metrics().Counter(name).Value() > 0 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("nemesis: counter %s stayed zero for %v", name, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,147 @@
+package workflow
+
+import (
+	"fmt"
+	"testing"
+
+	"gospaces/internal/ckpt"
+)
+
+// The nemesis soak is the HA-recovery acceptance gate: redundant
+// supervisors over a live logged data path, a staging server
+// fail-stopped mid-run, and the recovery leader killed at a chosen
+// promotion stage. Every seeded run must end with all slots alive,
+// exactly one promotion and one spare spent per death, a takeover
+// through the replicated intent journal, byte-exact reads and replay,
+// and a single lease holder.
+
+// checkNemesis asserts the standing invariants every soak must hold.
+// Transient blackouts under Chaos can legitimately exceed the
+// detection window and trigger extra (correct) promotions, so the
+// strict one-promotion-per-death equality is asserted only by the
+// deterministic runs; the no-double-spend ledger — one spare and one
+// epoch bump per promotion — holds regardless.
+func checkNemesis(t *testing.T, res NemesisResult, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("nemesis run failed: %v (result %+v)", err, res)
+	}
+	if res.Promotions < int64(res.Deaths) {
+		t.Fatalf("%d promotions for %d deaths (dead slot left behind): %+v", res.Promotions, res.Deaths, res)
+	}
+	if int64(res.SparesConsumed) != res.Promotions {
+		t.Fatalf("spares consumed %d for %d promotions (double-spent spare): %+v", res.SparesConsumed, res.Promotions, res)
+	}
+	if res.ReplayDiverged {
+		t.Fatalf("replay diverged from the restored event log: %+v", res)
+	}
+	if res.Leaders != 1 {
+		t.Fatalf("%d lease holders at end, want exactly 1: %+v", res.Leaders, res)
+	}
+	if res.ReplayEvents == 0 {
+		t.Fatalf("no events replayed through the restored log: %+v", res)
+	}
+	if res.Epoch != uint64(1)+uint64(res.Promotions) {
+		t.Fatalf("final epoch %d after %d promotions: %+v", res.Epoch, res.Promotions, res)
+	}
+}
+
+// checkStrict additionally pins exactly one promotion per death —
+// valid whenever no transient chaos can fake extra confirmed deaths.
+func checkStrict(t *testing.T, res NemesisResult) {
+	t.Helper()
+	if res.Promotions != int64(res.Deaths) {
+		t.Fatalf("promotions %d for %d deaths (double promotion?): %+v", res.Promotions, res.Deaths, res)
+	}
+}
+
+// TestNemesisLeaderKilledMidPromotion kills the recovery leader at a
+// rotating promotion stage across >= 20 seeded runs (fewer in -short).
+func TestNemesisLeaderKilledMidPromotion(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 4
+	}
+	for s := 0; s < seeds; s++ {
+		seed := int64(1000 + s)
+		stage := nemesisStages[s%len(nemesisStages)]
+		t.Run(fmt.Sprintf("seed%d-%s", seed, stage), func(t *testing.T) {
+			res, err := RunNemesis(NemesisOptions{Seed: seed, KillStage: stage})
+			checkNemesis(t, res, err)
+			checkStrict(t, res)
+			if res.Takeovers == 0 || res.IntentResumes == 0 {
+				t.Fatalf("leader killed at %q but no intent-journal takeover: %+v", stage, res)
+			}
+		})
+	}
+}
+
+// TestNemesisDeposedLeaderFenced stalls the leader past its lease
+// instead of killing it: a standby takes over and finishes the
+// promotion, and the deposed leader's resumed stale calls must be
+// rejected server-side by the fencing token.
+func TestNemesisDeposedLeaderFenced(t *testing.T) {
+	res, err := RunNemesis(NemesisOptions{Seed: 7, KillStage: "stall"})
+	checkNemesis(t, res, err)
+	checkStrict(t, res)
+	if res.ServerFenced == 0 {
+		t.Fatalf("deposed leader's stale calls were not rejected server-side: %+v", res)
+	}
+	if res.SupFenced == 0 {
+		t.Fatalf("deposed leader never observed its own deposition: %+v", res)
+	}
+}
+
+// TestNemesisSpareExhaustionHeals starts with an empty spare pool: the
+// dead slot is stranded (clients observe ErrSlotDown) until a late
+// AddSpare refills the pool, after which the backlog sweep promotes —
+// with the leader killed mid-promotion for good measure.
+func TestNemesisSpareExhaustionHeals(t *testing.T) {
+	res, err := RunNemesis(NemesisOptions{Seed: 11, KillStage: "intent", SpareDelay: true})
+	checkNemesis(t, res, err)
+	checkStrict(t, res)
+	if res.DeadRetries == 0 {
+		t.Fatalf("stranded slot healed without a backlog retry: %+v", res)
+	}
+	if !res.DownObserved {
+		t.Fatalf("no client observed ErrSlotDown while the slot was stranded: %+v", res)
+	}
+}
+
+// TestNemesisChaosSoak layers seeded transient blackouts and random
+// supervisor kills on top of the deterministic death.
+func TestNemesisChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak skipped in -short")
+	}
+	for _, seed := range []int64{21, 22, 23} {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := RunNemesis(NemesisOptions{Seed: seed, Chaos: 4})
+			checkNemesis(t, res, err)
+		})
+	}
+}
+
+// TestWorkflowRedundantSupervisors runs the full workflow (ranks,
+// checkpoints, rank fail-stop, server fail-stop) under three redundant
+// supervisors: exactly one of them must do the promotion.
+func TestWorkflowRedundantSupervisors(t *testing.T) {
+	opts := baseOpts(ckpt.Uncoordinated)
+	opts.Steps = 12
+	opts.NServers = 4
+	opts.WlogReplicas = 1
+	opts.Supervisors = 3
+	opts.ServerFailures = []ServerFailAt{{Server: 1, TS: 6}}
+	opts.Failures = []FailAt{{Component: "ana", Rank: 0, TS: 8}}
+	res := mustRun(t, opts)
+	if res.CorruptReads != 0 {
+		t.Fatalf("corrupt reads %d under redundant supervisors", res.CorruptReads)
+	}
+	if res.ServerRecoveries != 1 {
+		t.Fatalf("server recoveries = %d across 3 supervisors, want exactly 1", res.ServerRecoveries)
+	}
+	if res.FinalEpoch != 2 {
+		t.Fatalf("final epoch = %d, want 2", res.FinalEpoch)
+	}
+	expectReads(t, res, opts)
+}

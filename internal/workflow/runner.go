@@ -423,7 +423,7 @@ func (r *run) superviseReplicated(c *component) error {
 						return
 					}
 					e.proc = sp
-				case errors.Is(err, staging.ErrDegraded) || staging.IsStaleEpoch(err):
+				case errors.Is(err, staging.ErrDegraded) || staging.IsStaleEpoch(err) || errors.Is(err, staging.ErrSlotDown):
 					// Staging degraded — a server fail-stopped mid-call.
 					// Replication masks process failures, but the staging
 					// area still has to heal: wait out the promotion and

@@ -104,6 +104,11 @@ type Options struct {
 	// StagingSpares is the warm-spare staging-server pool size (default:
 	// one per scheduled server failure).
 	StagingSpares int
+	// Supervisors is the number of redundant recovery supervisors racing
+	// for the leader lease (default 1). With more than one, a standby
+	// takes over within a lease window of the leader dying — resuming
+	// any half-done promotion the leader journaled.
+	Supervisors int
 	// WlogReplicas replicates each staging server's event log (and the
 	// logged payloads and lock tables) to this many peer servers, so a
 	// promoted spare restores the dead server's queues and replay
@@ -194,6 +199,9 @@ func (o *Options) defaults() error {
 		if o.StagingSpares == 0 {
 			o.StagingSpares = len(o.ServerFailures)
 		}
+	}
+	if o.Supervisors <= 0 {
+		o.Supervisors = 1
 	}
 	if o.Redundancy != nil {
 		spread := o.Redundancy.Replicas
@@ -337,7 +345,8 @@ type run struct {
 	fields    []*synth.Field
 	inj       *injector
 	srvInj    *serverInjector
-	sup       *recovery.Supervisor
+	sup       *recovery.Supervisor   // first supervisor (WaitIdle convenience)
+	sups      []*recovery.Supervisor // all redundant supervisors
 	subset    domain.BBox
 	simDec    *domain.Decomposition
 	anaDec    *domain.Decomposition
@@ -432,22 +441,33 @@ func Run(opts Options) (Result, error) {
 				return Result{}, err
 			}
 		}
-		det := health.NewDetector(tr, "workflow/supervisor", health.Config{
-			Period:       15 * time.Millisecond,
-			Timeout:      100 * time.Millisecond,
-			SuspectAfter: 2,
-			DeadAfter:    6,
-		})
-		r.sup = recovery.New(tr, det, group.Membership(), group, recovery.Config{
-			Redundancy: opts.Redundancy,
-			OnPromote: func(slot int, addr string, epoch uint64) {
-				// Re-point the shared client pool so reconnecting ranks
-				// dial the promoted spare.
-				group.Pool.SetMember(slot, addr, epoch)
-			},
-		})
-		r.sup.Start()
-		defer r.sup.Close()
+		for i := 0; i < opts.Supervisors; i++ {
+			id := fmt.Sprintf("workflow/supervisor/%d", i)
+			det := health.NewDetector(tr, id, health.Config{
+				Period:       15 * time.Millisecond,
+				Timeout:      100 * time.Millisecond,
+				SuspectAfter: 2,
+				DeadAfter:    6,
+			})
+			sup := recovery.New(tr, det, group.Membership(), group, recovery.Config{
+				Redundancy: opts.Redundancy,
+				ID:         id,
+				OnPromote: func(slot int, addr string, epoch uint64) {
+					// Re-point the shared client pool so reconnecting ranks
+					// dial the promoted spare.
+					group.Pool.SetMember(slot, addr, epoch)
+				},
+				OnSlotDown: func(slot int, down bool) {
+					// While a dead slot has no spare to promote, clients
+					// fail fast with ErrSlotDown instead of timing out.
+					group.Pool.MarkSlotDown(slot, down)
+				},
+			})
+			sup.Start()
+			defer sup.Close()
+			r.sups = append(r.sups, sup)
+		}
+		r.sup = r.sups[0]
 	}
 
 	start := time.Now()
@@ -461,10 +481,14 @@ func Run(opts Options) (Result, error) {
 		// Drain any in-flight repair so the final stats see the rebuilt
 		// shards; a slot that stays dead surfaces below as a dial error.
 		_ = r.sup.WaitIdle(30 * time.Second)
-		m := r.sup.Metrics()
-		promotions = m.Counter("recovery.promotions").Value()
-		rebuilds = m.Counter("recovery.rebuilds").Value()
-		rebuildBytes = m.Counter("recovery.rebuild_bytes").Value()
+		// Whichever supervisor held the lease did the work: sum across
+		// the redundant set.
+		for _, sup := range r.sups {
+			m := sup.Metrics()
+			promotions += m.Counter("recovery.promotions").Value()
+			rebuilds += m.Counter("recovery.rebuilds").Value()
+			rebuildBytes += m.Counter("recovery.rebuild_bytes").Value()
+		}
 	}
 
 	probe, err := group.NewClient("probe/0")
