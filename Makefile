@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench nemesis
+.PHONY: check vet build test race short bench bench-smoke bench-json nemesis
 
 check: vet test race
 
@@ -18,10 +18,11 @@ test: build
 
 # The resilience acceptance gate: transport, staging, and the
 # fail-stop recovery stack under the race detector (includes the chaos
-# soak, lifecycle, supervised-recovery, and log-replication tests, plus
-# the crash-consistency state machines: wlog, ckpt, pfs).
+# soak, lifecycle, supervised-recovery, log-replication, multiplexing
+# concurrency, and frame-corruption tests, plus the crash-consistency
+# state machines: wlog, ckpt, pfs — and the parallel EC kernel).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/...
+	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/...
 
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:
@@ -35,3 +36,13 @@ nemesis:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
+
+# One-iteration compile-and-run pass over the data-plane benchmarks;
+# catches bit-rot without the cost of real measurement.
+bench-smoke:
+	$(GO) test -bench . -benchtime=1x -run=^$$ ./internal/transport ./internal/ec
+
+# Full data-plane measurement: serialized seed transport vs the
+# multiplexed fast path, plus the EC encode kernel, recorded as JSON.
+bench-json:
+	$(GO) run ./cmd/wfbench -exp transport -out BENCH_transport.json

@@ -30,10 +30,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, all")
 	seeds := flag.Int("seeds", 5, "number of failure-schedule seeds for the simulated experiments")
 	steps := flag.Int64("steps", 20, "coupling cycles for the live staging measurements")
 	reps := flag.Int("reps", 5, "repetitions (median) for the live staging measurements")
+	out := flag.String("out", "BENCH_transport.json", "output file for the transport experiment's JSON measurements")
 	flag.Parse()
 
 	expt.Reps = *reps
@@ -94,6 +95,8 @@ func main() {
 			return logrepl()
 		case "nemesis":
 			return nemesisExp()
+		case "transport":
+			return transportExp(*out)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -1,0 +1,375 @@
+// Package codec provides the binary fast path for bulk RPC payloads:
+// messages that carry large []byte bodies (staged puts, shard writes,
+// replication batches, log-snapshot transfers) implement Appender and
+// are written/read without gob reflection. Everything else keeps gob —
+// the fast path is an optimisation, never a requirement, so a message
+// type can adopt it (or an envelope can decline it) without protocol
+// changes.
+//
+// Encodings are length-delimited and self-describing at the top level
+// only: a two-byte registered type id selects the decoder, and each
+// implementation is responsible for its own field layout. Decoders must
+// be total: arbitrary input returns a typed error (ErrCorrupt,
+// ErrUnknownType), never a panic — the transport fuzz suite holds them
+// to that.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrCorrupt reports a fast-path body that does not parse: truncated
+// fields, length prefixes pointing past the end, trailing garbage.
+var ErrCorrupt = errors.New("codec: corrupt fast-path body")
+
+// ErrUnknownType reports a fast-path type id with no registered decoder.
+var ErrUnknownType = errors.New("codec: unknown fast-path type id")
+
+// ErrNoFastPath is returned by AppendTo when a message cannot take the
+// fast path after all (an envelope whose inner payload has no Appender);
+// the caller falls back to gob for the whole message.
+var ErrNoFastPath = errors.New("codec: message has no fast-path encoding")
+
+// Appender is the encode half of the fast path, implemented on value
+// receivers so any payload (request or response) qualifies directly.
+// AppendTo appends the message body (without the type id) to buf and
+// returns the extended slice; returning an error (conventionally
+// ErrNoFastPath) makes the transport fall back to gob.
+type Appender interface {
+	CodecID() uint16
+	AppendTo(buf []byte) ([]byte, error)
+}
+
+// BulkAppender is an optional refinement of Appender for messages whose
+// encoding ends with one bulk []byte field. AppendHeadTo appends
+// everything up to and including that field's length prefix and returns
+// the bulk bytes separately (unencoded, uncopied), so the transport can
+// hand them to vectored I/O instead of copying them into the frame
+// buffer. head followed by tail must be byte-identical to AppendTo's
+// output; returning an error declines the split for this value and the
+// caller falls back to AppendTo.
+type BulkAppender interface {
+	Appender
+	AppendHeadTo(buf []byte) (head, tail []byte, err error)
+}
+
+// Decoder is the decode half, implemented on pointer receivers.
+// DecodeFrom parses the body produced by AppendTo from r (which also
+// carries the aliasing mode, see NewAliasReader); Value returns the
+// message as the value type handlers switch on.
+type Decoder interface {
+	DecodeFrom(r *Reader) error
+	Value() any
+}
+
+var (
+	regMu sync.RWMutex
+	reg   = map[uint16]func() Decoder{}
+)
+
+// Register installs the decoder factory for a fast-path type id.
+// Duplicate registrations panic (ids are a protocol constant).
+func Register(id uint16, factory func() Decoder) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := reg[id]; dup {
+		panic(fmt.Sprintf("codec: duplicate fast-path id %d", id))
+	}
+	reg[id] = factory
+}
+
+// Marshal appends v's fast-path encoding (type id + body) to buf. ok is
+// false — and buf is returned unchanged — when v has no fast path.
+func Marshal(buf []byte, v any) (out []byte, ok bool) {
+	a, isAppender := v.(Appender)
+	if !isAppender {
+		return buf, false
+	}
+	n := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, a.CodecID())
+	buf, err := a.AppendTo(buf)
+	if err != nil {
+		return buf[:n], false
+	}
+	return buf, true
+}
+
+// MarshalBulk is Marshal for BulkAppender messages: it appends the type
+// id and encoded head to buf and returns the bulk tail separately,
+// still aliasing the message's own bytes. ok is false — and buf is
+// returned unchanged — when v is not a BulkAppender or declines the
+// split.
+func MarshalBulk(buf []byte, v any) (head, tail []byte, ok bool) {
+	a, isBulk := v.(BulkAppender)
+	if !isBulk {
+		return buf, nil, false
+	}
+	n := len(buf)
+	buf = binary.BigEndian.AppendUint16(buf, a.CodecID())
+	head, tail, err := a.AppendHeadTo(buf)
+	if err != nil {
+		return buf[:n], nil, false
+	}
+	return head, tail, true
+}
+
+// Unmarshal decodes a fast-path encoding produced by Marshal. Byte and
+// string fields are copied out of data.
+func Unmarshal(data []byte) (any, error) { return UnmarshalFrom(NewReader(data)) }
+
+// UnmarshalAlias decodes like Unmarshal but byte fields alias data
+// directly (zero copy). The caller cedes ownership of data: it must not
+// be modified or recycled while the decoded value is live.
+func UnmarshalAlias(data []byte) (any, error) { return UnmarshalFrom(NewAliasReader(data)) }
+
+// UnmarshalFrom decodes a fast-path encoding (type id + body) from the
+// unread bytes of r, inheriting r's aliasing mode — this is how an
+// envelope decodes its nested payload.
+func UnmarshalFrom(r *Reader) (any, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.d) < 2 {
+		return nil, fmt.Errorf("%w: short type id", ErrCorrupt)
+	}
+	id := binary.BigEndian.Uint16(r.d)
+	r.d = r.d[2:]
+	regMu.RLock()
+	factory := reg[id]
+	regMu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, id)
+	}
+	d := factory()
+	if err := d.DecodeFrom(r); err != nil {
+		return nil, err
+	}
+	return d.Value(), nil
+}
+
+// ---------------------------------------------------------------------
+// Append helpers (the encode vocabulary shared by implementations).
+
+// AppendUvarint appends v in unsigned varint form.
+func AppendUvarint(buf []byte, v uint64) []byte { return binary.AppendUvarint(buf, v) }
+
+// AppendVarint appends v in zig-zag varint form.
+func AppendVarint(buf []byte, v int64) []byte { return binary.AppendVarint(buf, v) }
+
+// AppendBytes appends a uvarint length prefix followed by b.
+func AppendBytes(buf, b []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(b)))
+	return append(buf, b...)
+}
+
+// AppendString appends s like AppendBytes.
+func AppendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// AppendBool appends one byte, 0 or 1.
+func AppendBool(buf []byte, b bool) []byte {
+	if b {
+		return append(buf, 1)
+	}
+	return append(buf, 0)
+}
+
+// ---------------------------------------------------------------------
+// Reader: the decode counterpart. Errors are sticky — after the first
+// failure every accessor returns the zero value — so decoders read all
+// fields linearly and check Err once.
+
+// Reader decodes the helper encodings with bounds checks everywhere.
+type Reader struct {
+	d     []byte
+	err   error
+	alias bool
+}
+
+// NewReader wraps data for decoding; Bytes copies out of data.
+func NewReader(data []byte) *Reader { return &Reader{d: data} }
+
+// NewAliasReader wraps data for zero-copy decoding: Bytes returns
+// subslices of data itself. Use only when the decoded value may own
+// data (the transport hands over fast-path frame bodies this way,
+// skipping one full payload copy per message).
+func NewAliasReader(data []byte) *Reader { return &Reader{d: data, alias: true} }
+
+// DisableAlias switches r to copying Bytes reads even when it was
+// created with NewAliasReader. Decoders whose values outlive the call
+// that delivered them (deep-retained replication and snapshot state)
+// opt out of zero-copy, because the transport reclaims an aliased
+// request body once its handler returns.
+func (r *Reader) DisableAlias() { r.alias = false }
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Len returns the unread byte count.
+func (r *Reader) Len() int { return len(r.d) }
+
+// Rest consumes and returns all unread bytes (no copy).
+func (r *Reader) Rest() []byte {
+	if r.err != nil {
+		return nil
+	}
+	out := r.d
+	r.d = nil
+	return out
+}
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrCorrupt
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.d)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.d = r.d[n:]
+	return v
+}
+
+// Varint reads a zig-zag varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.d)
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.d = r.d[n:]
+	return v
+}
+
+// Int reads a uvarint and narrows it to a non-negative int.
+func (r *Reader) Int() int {
+	v := r.Uvarint()
+	if v > uint64(int(^uint(0)>>1)) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+// Bytes reads a length-prefixed byte field: a fresh copy by default, a
+// subslice of the input in alias mode (NewAliasReader). The length is
+// bounds-checked against the unread input, so corrupt prefixes cannot
+// force huge allocations.
+func (r *Reader) Bytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.d)) {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return nil // match gob: empty fields decode as nil
+	}
+	var out []byte
+	if r.alias {
+		out = r.d[:n:n]
+	} else {
+		out = append([]byte(nil), r.d[:n]...) // growslice skips the zeroing a make would do
+	}
+	r.d = r.d[n:]
+	return out
+}
+
+// String reads a length-prefixed string field.
+func (r *Reader) String() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.d)) {
+		r.fail()
+		return ""
+	}
+	out := string(r.d[:n])
+	r.d = r.d[n:]
+	return out
+}
+
+// Bool reads one byte as a bool (any non-zero value is true).
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.d) < 1 {
+		r.fail()
+		return false
+	}
+	v := r.d[0] != 0
+	r.d = r.d[1:]
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Buffer pool: reusable frame/encode buffers shared by both ends of the
+// transport so steady-state bulk traffic allocates nothing per call.
+
+// maxPooledBuf bounds what the pool retains; one-off giant frames are
+// left to the GC rather than pinned forever.
+const maxPooledBuf = 8 << 20
+
+// bigBufCutoff routes buffers to the channel free list below. Bulk
+// traffic allocates frequent short-lived 100 KiB+ buffers; sync.Pool
+// sheds its caches on every GC cycle, and the GC pressure of exactly
+// that traffic empties the pool right when it is needed most. The
+// fixed-size channel free list is invisible to the collector, so large
+// buffers keep circulating under load.
+const bigBufCutoff = 64 << 10
+
+// The capacity covers a full window of in-flight bulk frames (one
+// server connection admits up to 256 concurrent handlers); buffers
+// beyond it fall through to the GC rather than pile up.
+var bigBufs = make(chan []byte, 256)
+
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// GetBuf returns a zero-length reusable buffer.
+func GetBuf() []byte {
+	select {
+	case b := <-bigBufs:
+		return b[:0]
+	default:
+	}
+	return (*bufPool.Get().(*[]byte))[:0]
+}
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b []byte) {
+	if cap(b) == 0 || cap(b) > maxPooledBuf {
+		return
+	}
+	if cap(b) >= bigBufCutoff {
+		select {
+		case bigBufs <- b[:0]:
+		default: // free list full; let the GC have it
+		}
+		return
+	}
+	b = b[:0]
+	bufPool.Put(&b)
+}

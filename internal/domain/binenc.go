@@ -1,0 +1,37 @@
+package domain
+
+import (
+	"fmt"
+
+	"gospaces/internal/codec"
+)
+
+// AppendBinary appends the box's fast-path encoding: the dimension
+// count followed by NDim (min, max) varint pairs. The empty box encodes
+// as a single zero byte.
+func (b BBox) AppendBinary(buf []byte) []byte {
+	buf = codec.AppendUvarint(buf, uint64(b.NDim))
+	for i := 0; i < b.NDim; i++ {
+		buf = codec.AppendVarint(buf, b.Min[i])
+		buf = codec.AppendVarint(buf, b.Max[i])
+	}
+	return buf
+}
+
+// DecodeBBox reads a box encoded by AppendBinary from r.
+func DecodeBBox(r *codec.Reader) (BBox, error) {
+	var b BBox
+	n := r.Int()
+	if r.Err() != nil {
+		return BBox{}, r.Err()
+	}
+	if n < 0 || n > MaxDims {
+		return BBox{}, fmt.Errorf("%w: bbox dimension %d", codec.ErrCorrupt, n)
+	}
+	b.NDim = n
+	for i := 0; i < n; i++ {
+		b.Min[i] = r.Varint()
+		b.Max[i] = r.Varint()
+	}
+	return b, r.Err()
+}

@@ -12,6 +12,12 @@ const gfPoly = 0x11d
 var (
 	gfExp [512]byte // generator powers, doubled to avoid mod 255
 	gfLog [256]byte
+
+	// mulTable[c] is the 256-byte lookup row for multiplication by c:
+	// mulTable[c][x] = c*x. The row turns the inner coding loop into one
+	// load + one xor per byte — no log/exp arithmetic, no zero branch —
+	// and the 64 KiB table stays resident in L1/L2 during bulk encodes.
+	mulTable [256][256]byte
 )
 
 func init() {
@@ -26,6 +32,13 @@ func init() {
 	}
 	for i := 255; i < 512; i++ {
 		gfExp[i] = gfExp[i-255]
+	}
+	for c := 1; c < 256; c++ {
+		logC := int(gfLog[c])
+		row := &mulTable[c]
+		for s := 1; s < 256; s++ {
+			row[s] = gfExp[logC+int(gfLog[s])]
+		}
 	}
 }
 
@@ -51,7 +64,8 @@ func gfDiv(a, b byte) byte {
 // gfInv returns the multiplicative inverse.
 func gfInv(a byte) byte { return gfDiv(1, a) }
 
-// gfMulSlice computes dst[i] ^= c * src[i] for all i.
+// gfMulAddSlice computes dst[i] ^= c * src[i] for all i, via the
+// per-coefficient lookup row.
 func gfMulAddSlice(dst, src []byte, c byte) {
 	if c == 0 {
 		return
@@ -62,11 +76,10 @@ func gfMulAddSlice(dst, src []byte, c byte) {
 		}
 		return
 	}
-	logC := int(gfLog[c])
+	mt := &mulTable[c]
+	dst = dst[:len(src)] // hoist the bounds check out of the loop
 	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= gfExp[logC+int(gfLog[s])]
-		}
+		dst[i] ^= mt[s]
 	}
 }
 

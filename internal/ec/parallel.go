@@ -1,0 +1,81 @@
+package ec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// The coding kernels (parity generation in Encode, shard rebuild in
+// Reconstruct) are byte-range parallel: every output byte depends only
+// on the same offset of the input shards, so the shard length can be
+// cut into chunks and coded on independent goroutines with no shared
+// writes. Re-protection after a fail-stop recodes every logged object,
+// so leaving the kernel single-core would serialize recovery behind one
+// CPU while the rest of the staging node idles.
+
+const (
+	// parallelThreshold is the shard length below which chunking is not
+	// worth the goroutine handoff; short shards run serially.
+	parallelThreshold = 64 << 10
+	// chunkLen is the coding chunk: large enough to amortize dispatch,
+	// small enough that the shard slices in flight stay cache-resident
+	// and stragglers can steal work.
+	chunkLen = 32 << 10
+)
+
+// ecWorkers is the configured pool width; 0 selects GOMAXPROCS.
+var ecWorkers atomic.Int32
+
+// SetWorkers bounds the goroutines a single Encode/Reconstruct may use.
+// n == 0 restores the default (GOMAXPROCS); n == 1 forces the serial
+// kernel. It returns the previous setting.
+func SetWorkers(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	return int(ecWorkers.Swap(int32(n)))
+}
+
+func workerCount() int {
+	if n := int(ecWorkers.Load()); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runChunked invokes fn over disjoint sub-ranges covering [0, shardLen).
+// fn must be safe to run concurrently on disjoint ranges. Short inputs
+// and single-worker configurations run inline on the caller.
+func runChunked(shardLen int, fn func(lo, hi int)) {
+	w := workerCount()
+	if w <= 1 || shardLen < parallelThreshold {
+		fn(0, shardLen)
+		return
+	}
+	nchunks := (shardLen + chunkLen - 1) / chunkLen
+	if w > nchunks {
+		w = nchunks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= nchunks {
+					return
+				}
+				lo := c * chunkLen
+				hi := lo + chunkLen
+				if hi > shardLen {
+					hi = shardLen
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -113,13 +113,19 @@ func (c *Coder) Encode(data [][]byte) ([][]byte, error) {
 	all := make([][]byte, c.k+c.m)
 	copy(all, data)
 	for r := 0; r < c.m; r++ {
-		p := make([]byte, shardLen)
-		row := c.enc.row(c.k + r)
-		for ci := 0; ci < c.k; ci++ {
-			gfMulAddSlice(p, data[ci], row[ci])
-		}
-		all[c.k+r] = p
+		all[c.k+r] = make([]byte, shardLen)
 	}
+	// Parity bytes depend only on the matching offset of the data
+	// shards, so the shard length is coded in parallel chunks.
+	runChunked(shardLen, func(lo, hi int) {
+		for r := 0; r < c.m; r++ {
+			p := all[c.k+r][lo:hi]
+			row := c.enc.row(c.k + r)
+			for ci := 0; ci < c.k; ci++ {
+				gfMulAddSlice(p, data[ci][lo:hi], row[ci])
+			}
+		}
+	})
 	return all, nil
 }
 
@@ -157,31 +163,48 @@ func (c *Coder) Reconstruct(shards [][]byte) error {
 		return errors.New("ec: decode matrix singular")
 	}
 
-	// Rebuild missing data shards.
+	// Rebuild missing data shards: chunk-parallel like Encode, phase 1.
 	data := make([][]byte, c.k)
+	var missData []int
 	for d := 0; d < c.k; d++ {
 		if shards[d] != nil {
 			data[d] = shards[d]
 			continue
 		}
 		out := make([]byte, shardLen)
-		for j, idx := range have {
-			gfMulAddSlice(out, shards[idx], dec.at(d, j))
-		}
 		shards[d] = out
 		data[d] = out
+		missData = append(missData, d)
 	}
-	// Rebuild missing parity shards from the (now complete) data.
+	if len(missData) > 0 {
+		runChunked(shardLen, func(lo, hi int) {
+			for _, d := range missData {
+				out := data[d][lo:hi]
+				for j, idx := range have {
+					gfMulAddSlice(out, shards[idx][lo:hi], dec.at(d, j))
+				}
+			}
+		})
+	}
+	// Phase 2: rebuild missing parity from the (now complete) data.
+	var missParity []int
 	for pi := 0; pi < c.m; pi++ {
 		if shards[c.k+pi] != nil {
 			continue
 		}
-		out := make([]byte, shardLen)
-		row := c.enc.row(c.k + pi)
-		for ci := 0; ci < c.k; ci++ {
-			gfMulAddSlice(out, data[ci], row[ci])
-		}
-		shards[c.k+pi] = out
+		shards[c.k+pi] = make([]byte, shardLen)
+		missParity = append(missParity, pi)
+	}
+	if len(missParity) > 0 {
+		runChunked(shardLen, func(lo, hi int) {
+			for _, pi := range missParity {
+				out := shards[c.k+pi][lo:hi]
+				row := c.enc.row(c.k + pi)
+				for ci := 0; ci < c.k; ci++ {
+					gfMulAddSlice(out, data[ci][lo:hi], row[ci])
+				}
+			}
+		})
 	}
 	return nil
 }

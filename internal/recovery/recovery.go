@@ -1000,8 +1000,12 @@ const reprotectAttempts = 5
 
 // reprotect restores full redundancy, retrying with a detection-window
 // backoff until a pass completes with every key rebuilt (or the
-// attempt budget runs out).
+// attempt budget runs out). Each pass is timed under
+// recovery.reprotect: rebuild decode dominates it, and the EC kernel's
+// chunked-parallel path (ec.SetWorkers) shortens exactly this window.
 func (s *Supervisor) reprotect(addrs []string) {
+	start := time.Now()
+	defer func() { s.reg.Timer("recovery.reprotect").Observe(time.Since(start)) }()
 	for attempt := 0; attempt < reprotectAttempts; attempt++ {
 		if s.reprotectOnce(addrs) {
 			return

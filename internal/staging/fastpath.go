@@ -1,0 +1,732 @@
+package staging
+
+import (
+	"fmt"
+
+	"gospaces/internal/codec"
+	"gospaces/internal/domain"
+	"gospaces/internal/locks"
+	"gospaces/internal/wlog"
+)
+
+// Binary fast-path encodings (codec.Appender/Decoder) for the staging
+// messages that carry bulk []byte bodies — puts, gets, shard writes,
+// replication batches, and log-snapshot transfers — plus their small
+// companions and the EpochReq/FencedReq envelopes, so a whole
+// request/response cycle stays off gob reflection. Every other staging
+// message keeps gob inside its frame; the fast path is transparent to
+// handlers (decoders yield the same value types the gob path does).
+//
+// The ids below are wire constants: never renumber, only append.
+const (
+	codecPutReq uint16 = iota + 1
+	codecPutResp
+	codecGetReq
+	codecGetResp
+	codecShardPutReq
+	codecShardPutResp
+	codecShardGetReq
+	codecShardGetResp
+	codecEpochReq
+	codecFencedReq
+	codecReplApplyReq
+	codecReplApplyResp
+	codecReplSnapshotReq
+	codecReplSnapshotResp
+	codecReplFetchReq
+	codecReplFetchResp
+	codecWlogInstallReq
+	codecWlogInstallResp
+)
+
+func init() {
+	codec.Register(codecPutReq, func() codec.Decoder { return &PutReq{} })
+	codec.Register(codecPutResp, func() codec.Decoder { return &PutResp{} })
+	codec.Register(codecGetReq, func() codec.Decoder { return &GetReq{} })
+	codec.Register(codecGetResp, func() codec.Decoder { return &GetResp{} })
+	codec.Register(codecShardPutReq, func() codec.Decoder { return &ShardPutReq{} })
+	codec.Register(codecShardPutResp, func() codec.Decoder { return &ShardPutResp{} })
+	codec.Register(codecShardGetReq, func() codec.Decoder { return &ShardGetReq{} })
+	codec.Register(codecShardGetResp, func() codec.Decoder { return &ShardGetResp{} })
+	codec.Register(codecEpochReq, func() codec.Decoder { return &EpochReq{} })
+	codec.Register(codecFencedReq, func() codec.Decoder { return &FencedReq{} })
+	codec.Register(codecReplApplyReq, func() codec.Decoder { return &ReplApplyReq{} })
+	codec.Register(codecReplApplyResp, func() codec.Decoder { return &ReplApplyResp{} })
+	codec.Register(codecReplSnapshotReq, func() codec.Decoder { return &ReplSnapshotReq{} })
+	codec.Register(codecReplSnapshotResp, func() codec.Decoder { return &ReplSnapshotResp{} })
+	codec.Register(codecReplFetchReq, func() codec.Decoder { return &ReplFetchReq{} })
+	codec.Register(codecReplFetchResp, func() codec.Decoder { return &ReplFetchResp{} })
+	codec.Register(codecWlogInstallReq, func() codec.Decoder { return &WlogInstallReq{} })
+	codec.Register(codecWlogInstallResp, func() codec.Decoder { return &WlogInstallResp{} })
+}
+
+// maxFastPathSlice bounds decoded slice counts; a corrupt length prefix
+// must not turn into a giant allocation before the per-element bounds
+// checks get a chance to fail.
+const maxFastPathSlice = 1 << 20
+
+func sliceLen(r *codec.Reader, what string) (int, error) {
+	n := r.Int()
+	if r.Err() != nil {
+		return 0, r.Err()
+	}
+	if n > maxFastPathSlice {
+		return 0, fmt.Errorf("%w: %s count %d", codec.ErrCorrupt, what, n)
+	}
+	return n, nil
+}
+
+// ---------------------------------------------------------------------
+// Put / Get
+
+func appendPiece(buf []byte, p Piece) []byte {
+	buf = p.BBox.AppendBinary(buf)
+	return codec.AppendBytes(buf, p.Data)
+}
+
+func decodePiece(r *codec.Reader) (Piece, error) {
+	b, err := domain.DecodeBBox(r)
+	if err != nil {
+		return Piece{}, err
+	}
+	return Piece{BBox: b, Data: r.Bytes()}, r.Err()
+}
+
+// CodecID implements codec.Appender.
+func (m PutReq) CodecID() uint16 { return codecPutReq }
+
+// AppendTo implements codec.Appender.
+func (m PutReq) AppendTo(buf []byte) ([]byte, error) {
+	head, tail, _ := m.AppendHeadTo(buf)
+	return append(head, tail...), nil
+}
+
+// AppendHeadTo implements codec.BulkAppender: the piece data rides last
+// on the wire so the transport can write it as its own iovec.
+func (m PutReq) AppendHeadTo(buf []byte) (head, tail []byte, err error) {
+	buf = codec.AppendString(buf, m.App)
+	buf = codec.AppendString(buf, m.Name)
+	buf = codec.AppendVarint(buf, m.Version)
+	buf = codec.AppendUvarint(buf, uint64(m.ElemSize))
+	buf = codec.AppendBool(buf, m.Logged)
+	buf = m.Piece.BBox.AppendBinary(buf)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Piece.Data)))
+	return buf, m.Piece.Data, nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *PutReq) DecodeFrom(r *codec.Reader) error {
+	m.App = r.String()
+	m.Name = r.String()
+	m.Version = r.Varint()
+	m.ElemSize = r.Int()
+	m.Logged = r.Bool()
+	b, err := domain.DecodeBBox(r)
+	if err != nil {
+		return err
+	}
+	m.Piece = Piece{BBox: b, Data: r.Bytes()}
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *PutReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m PutResp) CodecID() uint16 { return codecPutResp }
+
+// AppendTo implements codec.Appender.
+func (m PutResp) AppendTo(buf []byte) ([]byte, error) {
+	return codec.AppendBool(buf, m.Suppressed), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *PutResp) DecodeFrom(r *codec.Reader) error {
+	m.Suppressed = r.Bool()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *PutResp) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m GetReq) CodecID() uint16 { return codecGetReq }
+
+// AppendTo implements codec.Appender.
+func (m GetReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendString(buf, m.App)
+	buf = codec.AppendString(buf, m.Name)
+	buf = codec.AppendVarint(buf, m.Version)
+	buf = m.BBox.AppendBinary(buf)
+	return codec.AppendBool(buf, m.Logged), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *GetReq) DecodeFrom(r *codec.Reader) error {
+	m.App = r.String()
+	m.Name = r.String()
+	m.Version = r.Varint()
+	b, err := domain.DecodeBBox(r)
+	if err != nil {
+		return err
+	}
+	m.BBox = b
+	m.Logged = r.Bool()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *GetReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m GetResp) CodecID() uint16 { return codecGetResp }
+
+// AppendTo implements codec.Appender.
+func (m GetResp) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendVarint(buf, m.Version)
+	buf = codec.AppendBool(buf, m.FromLog)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Pieces)))
+	for _, p := range m.Pieces {
+		buf = appendPiece(buf, p)
+	}
+	return buf, nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *GetResp) DecodeFrom(r *codec.Reader) error {
+	m.Version = r.Varint()
+	m.FromLog = r.Bool()
+	n, err := sliceLen(r, "pieces")
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Pieces = make([]Piece, 0, min(n, 1024))
+	}
+	for i := 0; i < n; i++ {
+		p, err := decodePiece(r)
+		if err != nil {
+			return err
+		}
+		m.Pieces = append(m.Pieces, p)
+	}
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *GetResp) Value() any { return *m }
+
+// ---------------------------------------------------------------------
+// Shards (CoREC placement and re-protection)
+
+// CodecID implements codec.Appender.
+func (m ShardPutReq) CodecID() uint16 { return codecShardPutReq }
+
+// AppendTo implements codec.Appender.
+func (m ShardPutReq) AppendTo(buf []byte) ([]byte, error) {
+	head, tail, _ := m.AppendHeadTo(buf)
+	return append(head, tail...), nil
+}
+
+// AppendHeadTo implements codec.BulkAppender: the shard data rides last
+// on the wire so the transport can write it as its own iovec.
+func (m ShardPutReq) AppendHeadTo(buf []byte) (head, tail []byte, err error) {
+	buf = codec.AppendString(buf, m.Key)
+	buf = codec.AppendVarint(buf, int64(m.Shard))
+	buf = codec.AppendBool(buf, m.Rebuild)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Data)))
+	return buf, m.Data, nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ShardPutReq) DecodeFrom(r *codec.Reader) error {
+	m.Key = r.String()
+	m.Shard = int(r.Varint())
+	m.Rebuild = r.Bool()
+	m.Data = r.Bytes()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ShardPutReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ShardPutResp) CodecID() uint16 { return codecShardPutResp }
+
+// AppendTo implements codec.Appender.
+func (m ShardPutResp) AppendTo(buf []byte) ([]byte, error) { return buf, nil }
+
+// DecodeFrom implements codec.Decoder.
+func (m *ShardPutResp) DecodeFrom(r *codec.Reader) error { return nil }
+
+// Value implements codec.Decoder.
+func (m *ShardPutResp) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ShardGetReq) CodecID() uint16 { return codecShardGetReq }
+
+// AppendTo implements codec.Appender.
+func (m ShardGetReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendString(buf, m.Key)
+	return codec.AppendVarint(buf, int64(m.Shard)), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ShardGetReq) DecodeFrom(r *codec.Reader) error {
+	m.Key = r.String()
+	m.Shard = int(r.Varint())
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ShardGetReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ShardGetResp) CodecID() uint16 { return codecShardGetResp }
+
+// AppendTo implements codec.Appender.
+func (m ShardGetResp) AppendTo(buf []byte) ([]byte, error) {
+	head, tail, _ := m.AppendHeadTo(buf)
+	return append(head, tail...), nil
+}
+
+// AppendHeadTo implements codec.BulkAppender: the shard data rides last
+// on the wire so the transport can write it as its own iovec.
+func (m ShardGetResp) AppendHeadTo(buf []byte) (head, tail []byte, err error) {
+	buf = codec.AppendBool(buf, m.Found)
+	buf = codec.AppendUvarint(buf, uint64(len(m.Data)))
+	return buf, m.Data, nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ShardGetResp) DecodeFrom(r *codec.Reader) error {
+	m.Found = r.Bool()
+	m.Data = r.Bytes()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ShardGetResp) Value() any { return *m }
+
+// ---------------------------------------------------------------------
+// Envelopes: the nested payload rides the fast path when it can; an
+// inner message without one makes the whole envelope fall back to gob.
+
+// CodecID implements codec.Appender.
+func (m EpochReq) CodecID() uint16 { return codecEpochReq }
+
+// AppendTo implements codec.Appender.
+func (m EpochReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendUvarint(buf, m.Epoch)
+	out, ok := codec.Marshal(buf, m.Req)
+	if !ok {
+		return buf, codec.ErrNoFastPath
+	}
+	return out, nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *EpochReq) DecodeFrom(r *codec.Reader) error {
+	m.Epoch = r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	inner, err := codec.UnmarshalFrom(r)
+	if err != nil {
+		return err
+	}
+	m.Req = inner
+	return nil
+}
+
+// Value implements codec.Decoder.
+func (m *EpochReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m FencedReq) CodecID() uint16 { return codecFencedReq }
+
+// AppendTo implements codec.Appender.
+func (m FencedReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendUvarint(buf, m.Token)
+	out, ok := codec.Marshal(buf, m.Req)
+	if !ok {
+		return buf, codec.ErrNoFastPath
+	}
+	return out, nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *FencedReq) DecodeFrom(r *codec.Reader) error {
+	m.Token = r.Uvarint()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	inner, err := codec.UnmarshalFrom(r)
+	if err != nil {
+		return err
+	}
+	m.Req = inner
+	return nil
+}
+
+// Value implements codec.Decoder.
+func (m *FencedReq) Value() any { return *m }
+
+// ---------------------------------------------------------------------
+// Log replication: the per-mutation stream and the snapshot transfers.
+
+func appendLockRecord(buf []byte, l LockRecord) []byte {
+	buf = codec.AppendString(buf, l.Name)
+	buf = codec.AppendString(buf, l.Holder)
+	buf = codec.AppendBool(buf, l.Write)
+	buf = codec.AppendBool(buf, l.Release)
+	buf = codec.AppendBool(buf, l.ReleaseAll)
+	buf = codec.AppendUvarint(buf, l.Seq)
+	buf = codec.AppendBool(buf, l.Ok)
+	return codec.AppendString(buf, l.Err)
+}
+
+func decodeLockRecord(r *codec.Reader) (LockRecord, error) {
+	var l LockRecord
+	l.Name = r.String()
+	l.Holder = r.String()
+	l.Write = r.Bool()
+	l.Release = r.Bool()
+	l.ReleaseAll = r.Bool()
+	l.Seq = r.Uvarint()
+	l.Ok = r.Bool()
+	l.Err = r.String()
+	return l, r.Err()
+}
+
+func appendReplRecord(buf []byte, rec ReplRecord) []byte {
+	buf = codec.AppendVarint(buf, rec.Seq)
+	buf = codec.AppendBool(buf, rec.Wlog != nil)
+	if rec.Wlog != nil {
+		buf = rec.Wlog.AppendBinary(buf)
+	}
+	buf = codec.AppendBytes(buf, rec.Data)
+	buf = codec.AppendUvarint(buf, uint64(rec.ElemSize))
+	buf = codec.AppendUvarint(buf, uint64(rec.CRC))
+	buf = codec.AppendBool(buf, rec.Lock != nil)
+	if rec.Lock != nil {
+		buf = appendLockRecord(buf, *rec.Lock)
+	}
+	return buf
+}
+
+func decodeReplRecord(r *codec.Reader) (ReplRecord, error) {
+	var rec ReplRecord
+	rec.Seq = r.Varint()
+	if r.Bool() {
+		w, err := wlog.DecodeRecordBinary(r)
+		if err != nil {
+			return ReplRecord{}, err
+		}
+		rec.Wlog = &w
+	}
+	rec.Data = r.Bytes()
+	rec.ElemSize = r.Int()
+	rec.CRC = uint32(r.Uvarint())
+	if r.Bool() {
+		l, err := decodeLockRecord(r)
+		if err != nil {
+			return ReplRecord{}, err
+		}
+		rec.Lock = &l
+	}
+	return rec, r.Err()
+}
+
+func appendLockMirror(buf []byte, s LockMirrorState) []byte {
+	buf = codec.AppendUvarint(buf, uint64(len(s.Held)))
+	for _, h := range s.Held {
+		buf = codec.AppendString(buf, h.Name)
+		buf = codec.AppendString(buf, h.Writer)
+		buf = codec.AppendUvarint(buf, uint64(len(h.Readers)))
+		for _, rc := range h.Readers {
+			buf = codec.AppendString(buf, rc.Holder)
+			buf = codec.AppendVarint(buf, int64(rc.Count))
+		}
+	}
+	buf = codec.AppendUvarint(buf, uint64(len(s.Dedup)))
+	for _, d := range s.Dedup {
+		buf = codec.AppendString(buf, d.Holder)
+		buf = codec.AppendUvarint(buf, d.Seq)
+		buf = codec.AppendString(buf, d.Name)
+		buf = codec.AppendBool(buf, d.Write)
+		buf = codec.AppendBool(buf, d.Release)
+		buf = codec.AppendBool(buf, d.Ok)
+		buf = codec.AppendString(buf, d.Err)
+	}
+	return buf
+}
+
+func decodeLockMirror(r *codec.Reader) (LockMirrorState, error) {
+	var s LockMirrorState
+	nh, err := sliceLen(r, "held locks")
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < nh; i++ {
+		var h locks.HeldLock
+		h.Name = r.String()
+		h.Writer = r.String()
+		nr, err := sliceLen(r, "readers")
+		if err != nil {
+			return s, err
+		}
+		for j := 0; j < nr; j++ {
+			h.Readers = append(h.Readers, locks.ReaderCount{Holder: r.String(), Count: int(r.Varint())})
+		}
+		s.Held = append(s.Held, h)
+	}
+	nd, err := sliceLen(r, "dedup outcomes")
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < nd; i++ {
+		var d LockOutcome
+		d.Holder = r.String()
+		d.Seq = r.Uvarint()
+		d.Name = r.String()
+		d.Write = r.Bool()
+		d.Release = r.Bool()
+		d.Ok = r.Bool()
+		d.Err = r.String()
+		s.Dedup = append(s.Dedup, d)
+	}
+	return s, r.Err()
+}
+
+func appendReplState(buf []byte, s ReplState) []byte {
+	buf = codec.AppendVarint(buf, s.Seq)
+	buf = codec.AppendBytes(buf, s.Wlog)
+	buf = codec.AppendUvarint(buf, uint64(len(s.Objects)))
+	for _, o := range s.Objects {
+		buf = codec.AppendString(buf, o.Name)
+		buf = codec.AppendVarint(buf, o.Version)
+		buf = o.BBox.AppendBinary(buf)
+		buf = codec.AppendUvarint(buf, uint64(o.ElemSize))
+		buf = codec.AppendBytes(buf, o.Data)
+		buf = codec.AppendUvarint(buf, uint64(o.CRC))
+	}
+	buf = codec.AppendBool(buf, s.HasLocks)
+	return appendLockMirror(buf, s.Locks)
+}
+
+func decodeReplState(r *codec.Reader) (ReplState, error) {
+	var s ReplState
+	s.Seq = r.Varint()
+	s.Wlog = r.Bytes()
+	n, err := sliceLen(r, "repl objects")
+	if err != nil {
+		return s, err
+	}
+	for i := 0; i < n; i++ {
+		var o ReplObject
+		o.Name = r.String()
+		o.Version = r.Varint()
+		b, err := domain.DecodeBBox(r)
+		if err != nil {
+			return s, err
+		}
+		o.BBox = b
+		o.ElemSize = r.Int()
+		o.Data = r.Bytes()
+		o.CRC = uint32(r.Uvarint())
+		s.Objects = append(s.Objects, o)
+	}
+	s.HasLocks = r.Bool()
+	s.Locks, err = decodeLockMirror(r)
+	return s, err
+}
+
+// CodecID implements codec.Appender.
+func (m ReplApplyReq) CodecID() uint16 { return codecReplApplyReq }
+
+// AppendTo implements codec.Appender.
+func (m ReplApplyReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendUvarint(buf, m.Epoch)
+	buf = codec.AppendVarint(buf, int64(m.Slot))
+	buf = codec.AppendUvarint(buf, uint64(len(m.Records)))
+	for _, rec := range m.Records {
+		buf = appendReplRecord(buf, rec)
+	}
+	return buf, nil
+}
+
+// DecodeFrom implements codec.Decoder. Replication records are
+// retained in replica-slot state long after the delivering call
+// returns, so this decoder opts out of zero-copy aliasing.
+func (m *ReplApplyReq) DecodeFrom(r *codec.Reader) error {
+	r.DisableAlias()
+	m.Epoch = r.Uvarint()
+	m.Slot = int(r.Varint())
+	n, err := sliceLen(r, "repl records")
+	if err != nil {
+		return err
+	}
+	if n > 0 {
+		m.Records = make([]ReplRecord, 0, min(n, 1024))
+	}
+	for i := 0; i < n; i++ {
+		rec, err := decodeReplRecord(r)
+		if err != nil {
+			return err
+		}
+		m.Records = append(m.Records, rec)
+	}
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ReplApplyReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ReplApplyResp) CodecID() uint16 { return codecReplApplyResp }
+
+// AppendTo implements codec.Appender.
+func (m ReplApplyResp) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendBool(buf, m.NeedSnapshot)
+	return codec.AppendVarint(buf, m.Seq), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ReplApplyResp) DecodeFrom(r *codec.Reader) error {
+	m.NeedSnapshot = r.Bool()
+	m.Seq = r.Varint()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ReplApplyResp) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ReplSnapshotReq) CodecID() uint16 { return codecReplSnapshotReq }
+
+// AppendTo implements codec.Appender.
+func (m ReplSnapshotReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendUvarint(buf, m.Epoch)
+	buf = codec.AppendVarint(buf, int64(m.Slot))
+	return appendReplState(buf, m.State), nil
+}
+
+// DecodeFrom implements codec.Decoder. Snapshot state is retained in
+// the replica slot, so this decoder opts out of zero-copy aliasing.
+func (m *ReplSnapshotReq) DecodeFrom(r *codec.Reader) error {
+	r.DisableAlias()
+	m.Epoch = r.Uvarint()
+	m.Slot = int(r.Varint())
+	s, err := decodeReplState(r)
+	if err != nil {
+		return err
+	}
+	m.State = s
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ReplSnapshotReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ReplSnapshotResp) CodecID() uint16 { return codecReplSnapshotResp }
+
+// AppendTo implements codec.Appender.
+func (m ReplSnapshotResp) AppendTo(buf []byte) ([]byte, error) {
+	return codec.AppendVarint(buf, m.Seq), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ReplSnapshotResp) DecodeFrom(r *codec.Reader) error {
+	m.Seq = r.Varint()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ReplSnapshotResp) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ReplFetchReq) CodecID() uint16 { return codecReplFetchReq }
+
+// AppendTo implements codec.Appender.
+func (m ReplFetchReq) AppendTo(buf []byte) ([]byte, error) {
+	return codec.AppendVarint(buf, int64(m.Slot)), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ReplFetchReq) DecodeFrom(r *codec.Reader) error {
+	m.Slot = int(r.Varint())
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ReplFetchReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m ReplFetchResp) CodecID() uint16 { return codecReplFetchResp }
+
+// AppendTo implements codec.Appender.
+func (m ReplFetchResp) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendBool(buf, m.Found)
+	buf = codec.AppendUvarint(buf, m.Epoch)
+	return appendReplState(buf, m.State), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *ReplFetchResp) DecodeFrom(r *codec.Reader) error {
+	m.Found = r.Bool()
+	m.Epoch = r.Uvarint()
+	s, err := decodeReplState(r)
+	if err != nil {
+		return err
+	}
+	m.State = s
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *ReplFetchResp) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m WlogInstallReq) CodecID() uint16 { return codecWlogInstallReq }
+
+// AppendTo implements codec.Appender.
+func (m WlogInstallReq) AppendTo(buf []byte) ([]byte, error) {
+	buf = codec.AppendVarint(buf, int64(m.Slot))
+	return appendReplState(buf, m.State), nil
+}
+
+// DecodeFrom implements codec.Decoder. Installed state is retained in
+// the promoted server's log and store, so this decoder opts out of
+// zero-copy aliasing.
+func (m *WlogInstallReq) DecodeFrom(r *codec.Reader) error {
+	r.DisableAlias()
+	m.Slot = int(r.Varint())
+	s, err := decodeReplState(r)
+	if err != nil {
+		return err
+	}
+	m.State = s
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *WlogInstallReq) Value() any { return *m }
+
+// CodecID implements codec.Appender.
+func (m WlogInstallResp) CodecID() uint16 { return codecWlogInstallResp }
+
+// AppendTo implements codec.Appender.
+func (m WlogInstallResp) AppendTo(buf []byte) ([]byte, error) {
+	return codec.AppendVarint(buf, m.Records), nil
+}
+
+// DecodeFrom implements codec.Decoder.
+func (m *WlogInstallResp) DecodeFrom(r *codec.Reader) error {
+	m.Records = r.Varint()
+	return r.Err()
+}
+
+// Value implements codec.Decoder.
+func (m *WlogInstallResp) Value() any { return *m }

@@ -1,0 +1,150 @@
+package staging
+
+import (
+	"reflect"
+	"testing"
+
+	"gospaces/internal/codec"
+	"gospaces/internal/domain"
+	"gospaces/internal/locks"
+	"gospaces/internal/wlog"
+)
+
+// roundTrip encodes v through the fast path and decodes it back,
+// failing the test if the fast path declined or the value changed.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	buf, ok := codec.Marshal(nil, v)
+	if !ok {
+		t.Fatalf("%T did not take the fast path", v)
+	}
+	got, err := codec.Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("%T round trip mismatch:\n got %#v\nwant %#v", v, got, v)
+	}
+	return got
+}
+
+func TestFastpathRoundTrip(t *testing.T) {
+	box := domain.Box3(0, 0, 0, 15, 15, 15)
+	rec := wlog.Record{Op: wlog.OpPut, App: "sim/3", Name: "field", Version: 7, BBox: box, Bytes: 4096}
+	lock := LockRecord{Name: "step", Holder: "sim/3", Write: true, Seq: 9, Ok: true}
+	state := ReplState{
+		Seq:  42,
+		Wlog: []byte{1, 2, 3},
+		Objects: []ReplObject{
+			{Name: "field", Version: 7, BBox: box, ElemSize: 8, Data: []byte("payload"), CRC: 0xdeadbeef},
+			{Name: "empty", Version: 1, BBox: domain.BBox{}, ElemSize: 4, Data: nil, CRC: 1},
+		},
+		HasLocks: true,
+		Locks: LockMirrorState{
+			Held: []locks.HeldLock{
+				{Name: "step", Writer: "sim/3"},
+				{Name: "mesh", Readers: []locks.ReaderCount{{Holder: "viz/0", Count: 2}, {Holder: "viz/1", Count: 1}}},
+			},
+			Dedup: []LockOutcome{
+				{Holder: "sim/3", Seq: 9, Name: "step", Write: true, Ok: true},
+				{Holder: "viz/0", Seq: 2, Name: "mesh", Release: true, Err: "not held"},
+			},
+		},
+	}
+
+	msgs := []any{
+		PutReq{App: "sim/0", Name: "field", Version: 3, ElemSize: 8,
+			Piece: Piece{BBox: box, Data: []byte("abcdefgh")}, Logged: true},
+		PutResp{Suppressed: true},
+		GetReq{App: "viz/1", Name: "field", Version: -1, BBox: box, Logged: true},
+		GetResp{Version: 3, FromLog: true, Pieces: []Piece{
+			{BBox: box, Data: []byte("xy")},
+			{BBox: domain.Box3(1, 2, 3, 4, 5, 6), Data: nil},
+		}},
+		ShardPutReq{Key: "field@3", Shard: 2, Data: []byte{0, 255, 7}, Rebuild: true},
+		ShardPutResp{},
+		ShardGetReq{Key: "field@3", Shard: 2},
+		ShardGetResp{Data: []byte("shard"), Found: true},
+		ReplApplyReq{Epoch: 5, Slot: 1, Records: []ReplRecord{
+			{Seq: 1, Wlog: &rec, Data: []byte("body"), ElemSize: 8, CRC: 77},
+			{Seq: 2, Lock: &lock},
+			{Seq: 3},
+		}},
+		ReplApplyResp{NeedSnapshot: true, Seq: 12},
+		ReplSnapshotReq{Epoch: 5, Slot: 1, State: state},
+		ReplSnapshotResp{Seq: 42},
+		ReplFetchReq{Slot: 2},
+		ReplFetchResp{Found: true, Epoch: 5, State: state},
+		WlogInstallReq{Slot: 1, State: state},
+		WlogInstallResp{Records: 99},
+	}
+	for _, m := range msgs {
+		roundTrip(t, m)
+	}
+}
+
+func TestFastpathEmptyValues(t *testing.T) {
+	// Zero values must survive too: empty strings, nil slices, zero boxes.
+	roundTrip(t, PutReq{})
+	roundTrip(t, GetResp{})
+	roundTrip(t, ReplApplyReq{})
+	roundTrip(t, ReplSnapshotReq{})
+	roundTrip(t, ReplFetchResp{})
+}
+
+func TestFastpathEnvelopes(t *testing.T) {
+	inner := ShardPutReq{Key: "k", Shard: 1, Data: []byte("d")}
+	roundTrip(t, EpochReq{Epoch: 3, Req: inner})
+	roundTrip(t, FencedReq{Token: 8, Req: inner})
+	// Nested envelope: fenced epoch-wrapped bulk request.
+	roundTrip(t, FencedReq{Token: 8, Req: EpochReq{Epoch: 3, Req: inner}})
+
+	// An inner payload without a fast path declines the whole envelope so
+	// the transport falls back to gob.
+	if _, ok := codec.Marshal(nil, EpochReq{Epoch: 3, Req: StatsReq{}}); ok {
+		t.Fatal("EpochReq with gob-only inner payload took the fast path")
+	}
+	if _, ok := codec.Marshal(nil, FencedReq{Token: 1, Req: LeaseCASReq{}}); ok {
+		t.Fatal("FencedReq with gob-only inner payload took the fast path")
+	}
+}
+
+// FuzzFastpathDecode holds every registered decoder to the contract:
+// arbitrary input yields a typed error or a value, never a panic and
+// never an unbounded allocation.
+func FuzzFastpathDecode(f *testing.F) {
+	seedValues := []any{
+		PutReq{App: "sim/0", Name: "f", Version: 1, ElemSize: 8,
+			Piece: Piece{BBox: domain.Box3(0, 0, 0, 7, 7, 7), Data: []byte("seed")}, Logged: true},
+		GetResp{Version: 2, Pieces: []Piece{{BBox: domain.Box3(0, 0, 0, 1, 1, 1), Data: []byte("p")}}},
+		ShardPutReq{Key: "k", Shard: 1, Data: []byte("shard")},
+		ReplApplyReq{Epoch: 1, Slot: 0, Records: []ReplRecord{{Seq: 1, Data: []byte("d")}}},
+		WlogInstallReq{Slot: 1, State: ReplState{Seq: 3, Objects: []ReplObject{{Name: "o", Data: []byte("x")}}}},
+		EpochReq{Epoch: 2, Req: ShardGetReq{Key: "k", Shard: 0}},
+	}
+	for _, v := range seedValues {
+		if buf, ok := codec.Marshal(nil, v); ok {
+			f.Add(buf)
+			if len(buf) > 3 {
+				f.Add(buf[:len(buf)/2]) // truncated body
+				mut := append([]byte(nil), buf...)
+				mut[2] ^= 0xff // corrupt first body byte
+				f.Add(mut)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff}) // unknown type id
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := codec.Unmarshal(data)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode: the decoder produced a real
+		// message value, not a half-initialized one.
+		if _, ok := codec.Marshal(nil, v); !ok {
+			t.Fatalf("decoded %T does not re-encode", v)
+		}
+	})
+}

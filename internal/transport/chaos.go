@@ -25,6 +25,13 @@ import (
 // returning ErrTimeout — exactly what a client sees when the response
 // frame is lost. Blackouts fail calls and dials with ErrNoEndpoint, the
 // same class a crashed-and-restarting server produces.
+//
+// With the multiplexed TCP transport each Call maps to exactly one
+// request frame and one response frame, so these call-scoped faults are
+// frame-scoped: concurrent calls sharing a connection are delayed and
+// dropped independently, while KillConns/FailStop break the shared
+// stream and hit every in-flight frame at once — the two fault
+// granularities the mux design distinguishes.
 type Chaos struct {
 	inner Transport
 

@@ -1,36 +1,53 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"gospaces/internal/codec"
+	"gospaces/internal/metrics"
 )
 
-// wire envelopes. Payloads are gob-encoded; concrete request/response
-// types must be registered with gob.Register by the protocol package.
-type wireReq struct {
-	Payload any
-}
-
-type wireResp struct {
-	Payload any
-	Err     string
-}
-
-// TCP is a Transport over TCP sockets with gob framing. Addresses are
+// TCP is a Transport over TCP sockets with multiplexed length-prefixed
+// framing (see frame.go): one connection carries many concurrent
+// in-flight calls, each identified by a request id, with a demux
+// goroutine routing responses back to their callers. Addresses are
 // host:port strings; Listen with a ":0" port allocates an ephemeral
 // port, and the closer's Addr method reports the bound address.
 type TCP struct {
-	// CallTimeout, when positive, sets a read/write deadline covering
-	// each Call; an expired deadline returns ErrTimeout and marks the
-	// connection broken (the stream may be desynced).
+	// CallTimeout, when positive, bounds each Call individually: an
+	// expired call returns ErrTimeout and its late response (if any) is
+	// discarded, while the connection and its other in-flight calls
+	// carry on — frame boundaries stay intact, so a slow call no longer
+	// poisons the stream. Only a failed or half-written frame (write
+	// error/deadline) marks the connection broken.
 	CallTimeout time.Duration
 	// DialTimeout, when positive, bounds connection establishment,
 	// including the transparent re-dial after a broken connection.
 	DialTimeout time.Duration
+	// DisableFastPath forces every payload through gob inside its frame
+	// (the benchmark baseline). The server mirrors the request's
+	// encoding, so disabling it client-side disables it end to end.
+	DisableFastPath bool
+
+	regMu sync.Mutex
+	reg   atomic.Pointer[tcpMetrics]
+}
+
+// tcpMetrics caches the hot-path metric handles so per-frame accounting
+// is a few atomic adds, not registry map lookups under a mutex.
+type tcpMetrics struct {
+	reg      *metrics.Registry
+	inflight *metrics.Gauge
+	bytesIn  *metrics.Counter
+	bytesOut *metrics.Counter
+	fastpath *metrics.Counter
+	gobPath  *metrics.Counter
 }
 
 // NewTCP returns a TCP transport with no deadlines (calls may block
@@ -41,6 +58,43 @@ func NewTCP() *TCP { return &TCP{} }
 // deadlines.
 func NewTCPTimeout(call, dial time.Duration) *TCP {
 	return &TCP{CallTimeout: call, DialTimeout: dial}
+}
+
+// Metrics returns the transport's registry: transport.inflight (gauge),
+// transport.bytes_out/bytes_in (counters, frame bytes incl. headers),
+// codec.fastpath_hits / codec.gob_payloads (encode-side counters).
+func (t *TCP) Metrics() *metrics.Registry { return t.m().reg }
+
+// m returns the cached metric handles, building them once.
+func (t *TCP) m() *tcpMetrics {
+	if m := t.reg.Load(); m != nil {
+		return m
+	}
+	t.regMu.Lock()
+	defer t.regMu.Unlock()
+	if m := t.reg.Load(); m != nil {
+		return m
+	}
+	reg := metrics.NewRegistry()
+	m := &tcpMetrics{
+		reg:      reg,
+		inflight: reg.Gauge("transport.inflight"),
+		bytesIn:  reg.Counter("transport.bytes_in"),
+		bytesOut: reg.Counter("transport.bytes_out"),
+		fastpath: reg.Counter("codec.fastpath_hits"),
+		gobPath:  reg.Counter("codec.gob_payloads"),
+	}
+	t.reg.Store(m)
+	return m
+}
+
+// countPayload records which encode path a payload took.
+func (t *TCP) countPayload(flags byte) {
+	if flags&flagFastPath != 0 {
+		t.m().fastpath.Inc()
+	} else {
+		t.m().gobPath.Inc()
+	}
 }
 
 // TCPEndpoint is the closer returned by TCP.Listen; it also reports the
@@ -102,30 +156,133 @@ func (t *TCP) Listen(addr string, h Handler) (io.Closer, error) {
 					ep.mu.Unlock()
 					conn.Close()
 				}()
-				serveConn(conn, h)
+				t.serveConn(conn, h)
 			}()
 		}
 	}()
 	return ep, nil
 }
 
-func serveConn(conn net.Conn, h Handler) {
-	dec := gob.NewDecoder(conn)
-	enc := gob.NewEncoder(conn)
+// maxConnInflight bounds the handler goroutines one server connection
+// may have in flight; past it the reader loop applies backpressure by
+// not reading further frames.
+const maxConnInflight = 256
+
+// readBufSize sizes the per-connection read buffer on both ends.
+const readBufSize = 64 << 10
+
+// serveConn demultiplexes one client connection: each request frame is
+// handled on its own goroutine, so a slow handler delays only its own
+// caller; responses are written whole under a per-connection write lock.
+func (t *TCP) serveConn(conn net.Conn, h Handler) {
+	var wmu sync.Mutex
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	sem := make(chan struct{}, maxConnInflight)
+	// Buffering the read side halves the syscall count per frame (header
+	// and body arrive in one read) and drains bursts of small frames in a
+	// single syscall; bufio reads bodies larger than its buffer directly
+	// into the frame buffer, so bulk payloads are not double-copied.
+	br := bufio.NewReaderSize(conn, readBufSize)
 	for {
-		var req wireReq
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken peer
-		}
-		resp, err := h(req.Payload)
-		out := wireResp{Payload: resp}
+		flags, id, body, err := readFrame(br)
 		if err != nil {
-			out.Err = err.Error()
+			return // EOF, peer gone, or desynced stream
 		}
-		if err := enc.Encode(&out); err != nil {
-			return
+		t.m().bytesIn.Add(int64(frameHdrLen + len(body)))
+		if flags&flagResponse != 0 {
+			codec.PutBuf(body)
+			return // protocol violation; drop the connection
+		}
+		req, aliased, derr := decodePayload(flags, body)
+		if !aliased {
+			codec.PutBuf(body)
+		}
+		if derr != nil {
+			// The frame parsed (boundaries are intact) but its payload
+			// did not: answer the one call with a typed error and keep
+			// serving the connection.
+			t.writeResponse(conn, &wmu, id, nil, derr, false)
+			continue
+		}
+		fastOK := flags&flagFastPath != 0 && !t.DisableFastPath
+		sem <- struct{}{}
+		handlers.Add(1)
+		go func(id uint64, req any, fastOK bool, body []byte, aliased bool) {
+			defer handlers.Done()
+			defer func() { <-sem }()
+			resp, herr := h(req)
+			t.writeResponse(conn, &wmu, id, resp, herr, fastOK)
+			if aliased {
+				// An alias-decoded request points into its frame body; per
+				// the Handler contract the payload is dead once the handler
+				// has returned (and any echoing response has been written),
+				// so the buffer goes back in circulation. This is what lets
+				// steady-state bulk ingest run without per-request
+				// allocations.
+				codec.PutBuf(body)
+			}
+		}(id, req, fastOK, body, aliased)
+	}
+}
+
+// writeResponse encodes and writes one response frame. A write failure
+// kills the connection: the reader loop and the client both find out
+// through their own I/O errors.
+func (t *TCP) writeResponse(conn net.Conn, wmu *sync.Mutex, id uint64, resp any, herr error, fastOK bool) {
+	buf := beginFrame(codec.GetBuf())
+	defer func() { codec.PutBuf(buf) }()
+	flags := byte(flagResponse)
+	if herr != nil {
+		flags |= flagError
+		buf = codec.AppendString(buf, herr.Error())
+	}
+	var tail []byte
+	if resp != nil {
+		var pf byte
+		var err error
+		buf, tail, pf, err = appendPayloadVec(buf, resp, fastOK)
+		if err != nil {
+			// Unencodable response: report it as a remote error instead.
+			buf = beginFrame(buf[:0])
+			flags = flagResponse | flagError
+			tail = nil
+			buf = codec.AppendString(buf, err.Error())
+		} else {
+			flags |= pf
+			t.countPayload(pf)
 		}
 	}
+	buf, err := finishFrameTail(buf, flags, id, len(tail))
+	if err != nil {
+		conn.Close()
+		return
+	}
+	wmu.Lock()
+	if t.CallTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(t.CallTimeout))
+	}
+	werr := writeFrame(conn, buf, tail)
+	wmu.Unlock()
+	if werr != nil {
+		conn.Close()
+		return
+	}
+	t.m().bytesOut.Add(int64(len(buf) + len(tail)))
+}
+
+// writeFrame writes one frame, as a single write or — when a vectored
+// encode produced a separate bulk tail — as two iovecs via writev, so
+// large payloads reach the socket without ever being copied into the
+// frame buffer.
+func writeFrame(conn net.Conn, buf, tail []byte) error {
+	if len(tail) == 0 {
+		_, err := conn.Write(buf)
+		return err
+	}
+	bufs := net.Buffers{buf, tail}
+	_, err := bufs.WriteTo(conn)
+	return err
 }
 
 // ListenTCP is Listen with a concrete return type so callers can learn
@@ -138,109 +295,247 @@ func (t *TCP) ListenTCP(addr string, h Handler) (*TCPEndpoint, error) {
 	return c.(*TCPEndpoint), nil
 }
 
-// tcpClient is one client connection. callMu serializes calls (the gob
-// stream carries one request/response pair at a time); connMu guards
-// the connection state so Close and Abort can interrupt an in-flight
-// call instead of waiting behind it.
+// callResult is one demultiplexed response.
+type callResult struct {
+	resp any
+	err  error
+}
+
+// muxConn is one live multiplexed connection: a writer lock for whole
+// frames, a pending table routing responses to callers, and a demux
+// goroutine that owns the read side. It dies as a unit: any read/write
+// fault fails every pending call and the owning client re-dials on the
+// next Call.
+type muxConn struct {
+	c    *tcpClient
+	conn net.Conn
+	br   *bufio.Reader // demux-owned buffered read side
+	wmu  sync.Mutex
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan callResult
+	dead    bool
+	deadErr error
+}
+
+// tcpClient is one client connection slot: it holds at most one live
+// muxConn and transparently re-dials after a broken one.
 type tcpClient struct {
-	addr        string
-	callTimeout time.Duration
-	dialTimeout time.Duration
+	t    *TCP
+	addr string
 
-	callMu sync.Mutex
-
-	connMu sync.Mutex
+	mu     sync.Mutex
 	closed bool
-	conn   net.Conn // nil when broken; re-dialled on the next Call
-	enc    *gob.Encoder
-	dec    *gob.Decoder
+	cur    *muxConn // nil when broken; re-dialled on the next Call
 }
 
 // Dial implements Transport.
 func (t *TCP) Dial(addr string) (Client, error) {
-	c := &tcpClient{addr: addr, callTimeout: t.CallTimeout, dialTimeout: t.DialTimeout}
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if err := c.redialLocked(); err != nil {
+	c := &tcpClient{t: t, addr: addr}
+	if _, err := c.live(); err != nil {
 		return nil, err
 	}
 	return c, nil
 }
 
-// redialLocked (re)establishes the connection. Callers hold c.connMu.
-func (c *tcpClient) redialLocked() error {
+// live returns the current muxConn, dialling a fresh one if needed.
+func (c *tcpClient) live() (*muxConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if c.cur != nil {
+		return c.cur, nil
+	}
 	var conn net.Conn
 	var err error
-	if c.dialTimeout > 0 {
-		conn, err = net.DialTimeout("tcp", c.addr, c.dialTimeout)
+	if c.t.DialTimeout > 0 {
+		conn, err = net.DialTimeout("tcp", c.addr, c.t.DialTimeout)
 	} else {
 		conn, err = net.Dial("tcp", c.addr)
 	}
 	if err != nil {
-		return fmt.Errorf("%w: %q: %v", ErrNoEndpoint, c.addr, err)
+		return nil, fmt.Errorf("%w: %q: %v", ErrNoEndpoint, c.addr, err)
 	}
-	c.conn = conn
-	c.enc = gob.NewEncoder(conn)
-	c.dec = gob.NewDecoder(conn)
-	return nil
+	mc := &muxConn{
+		c:       c,
+		conn:    conn,
+		br:      bufio.NewReaderSize(conn, readBufSize),
+		pending: make(map[uint64]chan callResult),
+	}
+	c.cur = mc
+	go mc.demux()
+	return mc, nil
 }
 
-// breakConn tears down a connection that failed mid-call: the gob
-// stream may be desynced, so the next Call must re-dial rather than
-// decode garbage from it.
-func (c *tcpClient) breakConn(conn net.Conn, err error) error {
-	c.connMu.Lock()
-	closed := c.closed
-	if c.conn == conn {
-		conn.Close()
-		c.conn = nil
-		c.enc = nil
-		c.dec = nil
+// register allocates a request id and its response channel.
+func (mc *muxConn) register() (uint64, chan callResult, error) {
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if mc.dead {
+		return 0, nil, mc.deadErr
 	}
-	c.connMu.Unlock()
+	mc.nextID++
+	id := mc.nextID
+	ch := make(chan callResult, 1) // demux never blocks on delivery
+	mc.pending[id] = ch
+	mc.c.t.m().inflight.Add(1)
+	return id, ch, nil
+}
+
+// unregister abandons a pending call (timeout); a late response finds
+// no entry and is discarded by the demux loop.
+func (mc *muxConn) unregister(id uint64) {
+	mc.mu.Lock()
+	if _, ok := mc.pending[id]; ok {
+		delete(mc.pending, id)
+		mc.c.t.m().inflight.Add(-1)
+	}
+	mc.mu.Unlock()
+}
+
+// fail tears the connection down once: every pending call gets err, the
+// owning client drops its reference (so the next Call re-dials), and
+// the socket closes (waking the demux goroutine if it is still alive).
+func (mc *muxConn) fail(err error) {
+	mc.mu.Lock()
+	if mc.dead {
+		mc.mu.Unlock()
+		return
+	}
+	mc.dead = true
+	mc.deadErr = err
+	pending := mc.pending
+	mc.pending = nil
+	mc.mu.Unlock()
+
+	mc.c.mu.Lock()
+	if mc.c.cur == mc {
+		mc.c.cur = nil
+	}
+	mc.c.mu.Unlock()
+
+	mc.conn.Close()
+	if n := len(pending); n > 0 {
+		mc.c.t.m().inflight.Add(int64(-n))
+	}
+	for _, ch := range pending {
+		ch <- callResult{err: err}
+	}
+}
+
+// classify types a connection-level fault for callers.
+func (mc *muxConn) classify(err error) error {
+	mc.c.mu.Lock()
+	closed := mc.c.closed
+	mc.c.mu.Unlock()
 	if closed {
-		return fmt.Errorf("%w: %q: %v", ErrClosed, c.addr, err)
+		return fmt.Errorf("%w: %q: %v", ErrClosed, mc.c.addr, err)
 	}
 	if ne, ok := err.(net.Error); ok && ne.Timeout() {
-		return fmt.Errorf("%w: %q: %v", ErrTimeout, c.addr, err)
+		return fmt.Errorf("%w: %q: %v", ErrTimeout, mc.c.addr, err)
 	}
-	return fmt.Errorf("%w: %q: %v", ErrConnBroken, c.addr, err)
+	return fmt.Errorf("%w: %q: %v", ErrConnBroken, mc.c.addr, err)
+}
+
+// demux owns the read side: it routes response frames to pending calls
+// by id until the stream breaks, then fails everything left.
+func (mc *muxConn) demux() {
+	for {
+		flags, id, body, err := readFrame(mc.br)
+		if err != nil {
+			mc.fail(mc.classify(err))
+			return
+		}
+		mc.c.t.m().bytesIn.Add(int64(frameHdrLen + len(body)))
+		if flags&flagResponse == 0 {
+			codec.PutBuf(body)
+			mc.fail(mc.classify(fmt.Errorf("request frame on client stream: %w", ErrFrameCorrupt)))
+			return
+		}
+		resp, aliased, rerr := decodeResponse(flags, body)
+		if !aliased {
+			codec.PutBuf(body) // an aliased response owns its frame body
+		}
+		mc.mu.Lock()
+		ch := mc.pending[id]
+		if ch != nil {
+			delete(mc.pending, id)
+			mc.c.t.m().inflight.Add(-1)
+		}
+		mc.mu.Unlock()
+		if ch == nil {
+			continue // late response to a timed-out call
+		}
+		ch <- callResult{resp: resp, err: rerr}
+	}
 }
 
 func (c *tcpClient) Call(req any) (any, error) {
-	c.callMu.Lock()
-	defer c.callMu.Unlock()
-	c.connMu.Lock()
-	if c.closed {
-		c.connMu.Unlock()
-		return nil, ErrClosed
+	mc, err := c.live()
+	if err != nil {
+		return nil, err
 	}
-	if c.conn == nil {
-		if err := c.redialLocked(); err != nil {
-			c.connMu.Unlock()
-			return nil, err
-		}
+	id, ch, err := mc.register()
+	if err != nil {
+		return nil, err
 	}
-	conn, enc, dec := c.conn, c.enc, c.dec
-	c.connMu.Unlock()
 
-	if c.callTimeout > 0 {
-		conn.SetDeadline(time.Now().Add(c.callTimeout))
+	buf := beginFrame(codec.GetBuf())
+	var pf byte
+	var tail []byte
+	buf, tail, pf, err = appendPayloadVec(buf, req, !c.t.DisableFastPath)
+	if err == nil {
+		buf, err = finishFrameTail(buf, pf, id, len(tail))
 	}
-	if err := enc.Encode(&wireReq{Payload: req}); err != nil {
-		return nil, c.breakConn(conn, err)
+	if err != nil {
+		codec.PutBuf(buf)
+		mc.unregister(id)
+		return nil, err
 	}
-	var resp wireResp
-	if err := dec.Decode(&resp); err != nil {
-		return nil, c.breakConn(conn, err)
+	c.t.countPayload(pf)
+
+	mc.wmu.Lock()
+	if c.t.CallTimeout > 0 {
+		mc.conn.SetWriteDeadline(time.Now().Add(c.t.CallTimeout))
 	}
-	if c.callTimeout > 0 {
-		conn.SetDeadline(time.Time{})
+	werr := writeFrame(mc.conn, buf, tail)
+	mc.wmu.Unlock()
+	n := len(buf) + len(tail)
+	codec.PutBuf(buf)
+	if werr != nil {
+		// A failed or half-written frame desyncs the stream: the whole
+		// connection (and every pending call on it) is broken.
+		mc.unregister(id)
+		cerr := mc.classify(werr)
+		mc.fail(cerr)
+		return nil, cerr
 	}
-	if resp.Err != "" {
-		return resp.Payload, &RemoteError{Msg: resp.Err}
+	c.t.m().bytesOut.Add(int64(n))
+
+	var timeout <-chan time.Time
+	if c.t.CallTimeout > 0 {
+		timer := time.NewTimer(c.t.CallTimeout)
+		defer timer.Stop()
+		timeout = timer.C
 	}
-	return resp.Payload, nil
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-timeout:
+		mc.unregister(id)
+		select {
+		case r := <-ch:
+			// The response raced the timer; deliver it.
+			return r.resp, r.err
+		default:
+		}
+		// Only this call times out; the connection and its neighbours
+		// stay healthy (the demux loop discards the late response).
+		return nil, fmt.Errorf("%w: %q after %v", ErrTimeout, c.addr, c.t.CallTimeout)
+	}
 }
 
 // Abort kills the live connection without closing the client, marking
@@ -248,27 +543,25 @@ func (c *tcpClient) Call(req any) (any, error) {
 // ErrConnBroken. The chaos transport uses it to model connection
 // resets.
 func (c *tcpClient) Abort() {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.enc = nil
-		c.dec = nil
+	c.mu.Lock()
+	mc := c.cur
+	c.mu.Unlock()
+	if mc != nil {
+		mc.fail(fmt.Errorf("%w: %q: aborted", ErrConnBroken, c.addr))
 	}
 }
 
 func (c *tcpClient) Close() error {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
+	c.mu.Lock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	if c.conn == nil {
-		return nil
+	mc := c.cur
+	c.mu.Unlock()
+	if mc != nil {
+		mc.fail(fmt.Errorf("%w: %q", ErrClosed, c.addr))
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	return err
+	return nil
 }

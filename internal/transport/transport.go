@@ -20,6 +20,13 @@ import (
 // Handler serves one request and returns a response. Handlers must be
 // safe for concurrent use; the staging server guards its state
 // internally.
+//
+// Byte-slice fields of req are only valid until the handler returns:
+// large fast-path payloads are decoded zero-copy out of a frame buffer
+// the transport reclaims afterwards. A handler that retains payload
+// bytes past its return must copy them (the staging server already
+// copies on ingest), or the message's decoder must opt out of aliasing
+// with Reader.DisableAlias.
 type Handler func(req any) (resp any, err error)
 
 // Client issues requests to one endpoint.
@@ -51,6 +58,17 @@ var ErrTimeout = errors.New("transport: call timeout")
 // EOF, desynced stream). The payload state of the call is unknown; the
 // client re-dials on the next call.
 var ErrConnBroken = errors.New("transport: connection broken")
+
+// ErrFrameCorrupt reports a malformed wire frame or payload: bad magic,
+// an undecodable body, or a response that does not parse. At frame
+// scope the stream is desynced and the connection is torn down; a
+// payload-only failure is answered per call with the frame boundaries
+// (and the connection) intact.
+var ErrFrameCorrupt = errors.New("transport: corrupt frame")
+
+// ErrFrameTooLarge reports a frame whose declared body exceeds
+// MaxFrameBody — treated as corruption, never as an allocation request.
+var ErrFrameTooLarge = errors.New("transport: frame too large")
 
 // RemoteError carries an error returned by the remote handler, as
 // opposed to a transport fault. Remote errors are terminal: the request
