@@ -20,9 +20,10 @@ test: build
 # fail-stop recovery stack under the race detector (includes the chaos
 # soak, lifecycle, supervised-recovery, log-replication, multiplexing
 # concurrency, and frame-corruption tests, plus the crash-consistency
-# state machines: wlog, ckpt, pfs — and the parallel EC kernel).
+# state machines: wlog, ckpt, pfs — the parallel EC kernel, and the
+# admission-control/QoS layer).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/...
+	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/... ./internal/qos/...
 
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:
@@ -30,19 +31,23 @@ short:
 
 # Short nemesis soak under the race detector: seeded supervisor/server
 # kill schedules over the HA-recovery stack (leader killed at every
-# promotion stage, deposed-leader fencing, spare exhaustion, chaos).
+# promotion stage, deposed-leader fencing, spare exhaustion, chaos,
+# and the tenant-overload soak composing fail-stops with a shed flood).
 nemesis:
 	$(GO) test -race -run 'TestNemesis' -count=1 -timeout 10m ./internal/workflow/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
-# One-iteration compile-and-run pass over the data-plane benchmarks;
-# catches bit-rot without the cost of real measurement.
+# One-iteration compile-and-run pass over the data-plane benchmarks
+# (including the admission fast path); catches bit-rot without the
+# cost of real measurement.
 bench-smoke:
-	$(GO) test -bench . -benchtime=1x -run=^$$ ./internal/transport ./internal/ec
+	$(GO) test -bench . -benchtime=1x -run=^$$ ./internal/transport ./internal/ec ./internal/qos
 
 # Full data-plane measurement: serialized seed transport vs the
-# multiplexed fast path, plus the EC encode kernel, recorded as JSON.
+# multiplexed fast path, plus the EC encode kernel and the tenant
+# overload/QoS contrast, recorded as JSON.
 bench-json:
 	$(GO) run ./cmd/wfbench -exp transport -out BENCH_transport.json
+	$(GO) run ./cmd/wfbench -exp overload -out-overload BENCH_overload.json

@@ -20,6 +20,9 @@
 //	leader                  probe each server's recovery-leadership view:
 //	                        lease holder, fencing token, lease expiry,
 //	                        and the journaled promotion backlog
+//	qos                     probe each server's admission-control view:
+//	                        per-tenant quota usage, admit/shed counters,
+//	                        lane queue depths, and replication lag
 package main
 
 import (
@@ -59,7 +62,7 @@ func main() {
 
 func run(servers, domainStr string, elem, bits int, app string, opts gospaces.DialOptions, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health/leader)")
+		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health/leader/qos)")
 	}
 	global, err := parseDomain(domainStr)
 	if err != nil {
@@ -73,6 +76,9 @@ func run(servers, domainStr string, elem, bits int, app string, opts gospaces.Di
 	}
 	if args[0] == "leader" {
 		return leaderCmd(addrs, opts)
+	}
+	if args[0] == "qos" {
+		return qosCmd(addrs, opts)
 	}
 	pool, err := gospaces.ConnectWithOptions(addrs, gospaces.StagingConfig{
 		Global:   global,
@@ -229,6 +235,41 @@ func leaderCmd(addrs []string, opts gospaces.DialOptions) error {
 		fmt.Printf("%d journaled promotion(s) outstanding\n", backlog)
 	}
 	return nil
+}
+
+func qosCmd(addrs []string, opts gospaces.DialOptions) error {
+	dead := 0
+	for _, v := range gospaces.ProbeQoS(addrs, opts) {
+		if !v.Alive {
+			dead++
+			fmt.Printf("%-22s DEAD  %s\n", v.Addr, v.Err)
+			continue
+		}
+		if !v.Enabled {
+			fmt.Printf("%-22s id=%d qos disabled\n", v.Addr, v.ID)
+			continue
+		}
+		fmt.Printf("%-22s id=%d admits=%d sheds=%d lanes fg=%d rec=%d repl_lag=%d\n",
+			v.Addr, v.ID, v.Admits, v.Sheds, v.QueueForeground, v.QueueRecovery, v.ReplLag)
+		for _, t := range v.Tenants {
+			fmt.Printf("%22s   tenant %-12s prio=%d staging=%s wlog=%s admits=%d sheds=%d\n",
+				"", t.Tenant, t.Priority,
+				quotaUse(t.StoreBytes, t.StagingQuota), quotaUse(t.WlogBytes, t.WlogQuota),
+				t.Admits, t.Sheds)
+		}
+	}
+	if dead > 0 {
+		return fmt.Errorf("%d of %d servers unreachable", dead, len(addrs))
+	}
+	return nil
+}
+
+// quotaUse renders used/quota, with "inf" for an unlimited quota.
+func quotaUse(used, quota int64) string {
+	if quota <= 0 {
+		return fmt.Sprintf("%d/inf", used)
+	}
+	return fmt.Sprintf("%d/%d", used, quota)
 }
 
 func nameVersion(args []string) (string, int64, error) {

@@ -46,6 +46,8 @@ func main() {
 	spare := flag.Bool("spare", false, "start as a warm spare outside the membership, awaiting promotion by a recovery supervisor")
 	wlogReplicas := flag.Int("wlog-replicas", 0, "replicate the event log (and staged payloads) to this many membership successors; 0 disables")
 	peers := flag.String("peers", "", "ordered comma-separated address list of the whole staging group (single-server mode); required for -wlog-replicas so the server can find its successors")
+	qosTenants := flag.String("qos-tenants", "", "enable admission control with per-tenant quotas: semicolon-separated specs 'tenant:staging=BYTES,wlog=BYTES,prio=N' (omitted limits are unlimited), e.g. 'lo:staging=4096,prio=0;hi:prio=2'")
+	qosHighWater := flag.Float64("qos-highwater", 0, "staging-RAM fraction above which low-priority tenants are shed (0 = default 0.7; needs -qos-tenants)")
 	flag.Parse()
 
 	opts := gospaces.ServeOptions{
@@ -56,6 +58,14 @@ func main() {
 		ChaosHang:      *chaosHang,
 		Spare:          *spare,
 		WlogReplicas:   *wlogReplicas,
+	}
+	if *qosTenants != "" {
+		qcfg, err := parseQoS(*qosTenants, *qosHighWater)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "stagingd: %v\n", err)
+			os.Exit(1)
+		}
+		opts.QoS = qcfg
 	}
 	if *chaosDelayProb > 0 || *chaosHangProb > 0 {
 		fmt.Printf("stagingd: CHAOS MODE: delay p=%.2f (%v), hang p=%.2f (%v), seed %d\n",
@@ -113,6 +123,52 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// parseQoS builds the admission-control config from the -qos-tenants
+// spec: semicolon-separated 'tenant:staging=BYTES,wlog=BYTES,prio=N'
+// entries where each limit is optional (absent means unlimited).
+func parseQoS(spec string, highWater float64) (*gospaces.QoSConfig, error) {
+	cfg := &gospaces.QoSConfig{Tenants: map[string]gospaces.QoSQuota{}, HighWater: highWater}
+	for _, entry := range strings.Split(spec, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, limits, _ := strings.Cut(entry, ":")
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("qos spec %q: empty tenant name", entry)
+		}
+		var q gospaces.QoSQuota
+		if limits != "" {
+			for _, kv := range strings.Split(limits, ",") {
+				key, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+				if !ok {
+					return nil, fmt.Errorf("qos spec %q: limit %q not key=value", entry, kv)
+				}
+				n, err := strconv.ParseInt(val, 10, 64)
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("qos spec %q: bad value %q", entry, val)
+				}
+				switch key {
+				case "staging":
+					q.StagingBytes = n
+				case "wlog":
+					q.WlogBytes = n
+				case "prio":
+					q.Priority = int(n)
+				default:
+					return nil, fmt.Errorf("qos spec %q: unknown limit %q (want staging/wlog/prio)", entry, key)
+				}
+			}
+		}
+		cfg.Tenants[name] = q
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("qos spec %q names no tenants", spec)
+	}
+	return cfg, nil
 }
 
 // splitHostPort parses "host:port" with a numeric port (host may be

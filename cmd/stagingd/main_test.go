@@ -17,3 +17,28 @@ func TestSplitHostPort(t *testing.T) {
 		}
 	}
 }
+
+func TestParseQoS(t *testing.T) {
+	cfg, err := parseQoS("lo:staging=4096,wlog=8192,prio=0; hi:prio=2; mid", 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.HighWater != 0.8 {
+		t.Fatalf("high water = %v", cfg.HighWater)
+	}
+	lo := cfg.Tenants["lo"]
+	if lo.StagingBytes != 4096 || lo.WlogBytes != 8192 || lo.Priority != 0 {
+		t.Fatalf("lo quota = %+v", lo)
+	}
+	if hi := cfg.Tenants["hi"]; hi.Priority != 2 || hi.StagingBytes != 0 {
+		t.Fatalf("hi quota = %+v", hi)
+	}
+	if _, ok := cfg.Tenants["mid"]; !ok {
+		t.Fatal("bare tenant name (unlimited quota) rejected")
+	}
+	for _, bad := range []string{"", ";", ":staging=1", "lo:staging", "lo:staging=x", "lo:ram=1", "lo:staging=-1"} {
+		if _, err := parseQoS(bad, 0); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

@@ -30,11 +30,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, overload, all")
 	seeds := flag.Int("seeds", 5, "number of failure-schedule seeds for the simulated experiments")
 	steps := flag.Int64("steps", 20, "coupling cycles for the live staging measurements")
 	reps := flag.Int("reps", 5, "repetitions (median) for the live staging measurements")
 	out := flag.String("out", "BENCH_transport.json", "output file for the transport experiment's JSON measurements")
+	outOverload := flag.String("out-overload", "BENCH_overload.json", "output file for the overload experiment's JSON measurements")
 	flag.Parse()
 
 	expt.Reps = *reps
@@ -97,6 +98,8 @@ func main() {
 			return nemesisExp()
 		case "transport":
 			return transportExp(*out)
+		case "overload":
+			return overloadExp(*outOverload)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

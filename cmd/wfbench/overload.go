@@ -1,0 +1,334 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gospaces/internal/corec"
+	"gospaces/internal/domain"
+	"gospaces/internal/qos"
+	"gospaces/internal/staging"
+	"gospaces/internal/transport"
+)
+
+// overloadRow is one BENCH_overload.json entry: one tenant's outcome at
+// one (mode, load) point, with the point-wide rebuild and RAM readings
+// repeated on the "hi" row.
+type overloadRow struct {
+	Mode         string  `json:"mode"`      // "qos" or "none"
+	LoadMult     int     `json:"load_mult"` // flood multiplier (0 = unloaded baseline)
+	Tenant       string  `json:"tenant"`    // "hi" or "lo"
+	Ops          int64   `json:"ops"`       // successful puts in the window
+	Rejects      int64   `json:"rejects"`   // rejected puts (shed or over budget)
+	Seconds      float64 `json:"seconds"`   // measurement window
+	GoodputMBs   float64 `json:"goodput_mb_s"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	RebuildMs    float64 `json:"rebuild_ms,omitempty"`     // median concurrent CoREC re-protection pass ("hi" rows; -1 = no pass completed)
+	RebuildErrs  int     `json:"rebuild_errs,omitempty"`   // re-protection passes that failed
+	RAMHighWater int64   `json:"ram_high_water,omitempty"` // max per-server staged bytes observed
+	BudgetBytes  int64   `json:"budget_bytes,omitempty"`   // per-server staging budget
+}
+
+// Overload experiment geometry: a full-box put is 64x64x16 cells of 8
+// bytes = 512 KiB, a quarter of it landing on each of the 4 servers.
+const (
+	overloadServers = 4
+	overloadBudget  = int64(2 << 20)   // per-server staging RAM
+	overloadLoQuota = int64(512 << 10) // per-server staging quota of the flood tenant
+	overloadWindow  = 400 * time.Millisecond
+	rebuildKeys     = 8
+	rebuildKeyBytes = 256 << 10
+)
+
+func overloadGlobal() domain.BBox { return domain.Box3(0, 0, 0, 63, 63, 15) }
+
+// overloadExp contrasts the admission-control layer against the bare
+// budget check under a low-priority tenant flood at 1x/2x/4x offered
+// load, while CoREC re-protection of a replaced server runs
+// concurrently: per-tenant goodput and put latency percentiles, the
+// re-protection time, and the staging-RAM high-water mark, written to
+// outPath as JSON.
+func overloadExp(outPath string) error {
+	var rows []overloadRow
+	fmt.Println("== overload: tenant flood vs admission control (qos) and bare budget (none) ==")
+	base := map[string]overloadRow{}
+	for _, mode := range []string{"qos", "none"} {
+		for _, mult := range []int{0, 1, 2, 4} {
+			point, err := overloadPoint(mode, mult)
+			if err != nil {
+				return fmt.Errorf("overload %s x%d: %w", mode, mult, err)
+			}
+			rows = append(rows, point...)
+			hi := point[0]
+			if mult == 0 {
+				base[mode] = hi
+			}
+			fmt.Printf("  %-4s x%d: hi %6.1f MB/s p99 %6.2fms rejects %3d | rebuild %7.1fms | ram hw %4.1f%% of budget",
+				mode, mult, hi.GoodputMBs, hi.P99Ms, hi.Rejects, hi.RebuildMs,
+				100*float64(hi.RAMHighWater)/float64(overloadBudget))
+			if mult > 0 {
+				lo := point[1]
+				fmt.Printf(" | lo admits %d sheds %d", lo.Ops, lo.Rejects)
+			}
+			fmt.Println()
+		}
+	}
+
+	// The acceptance readings: under the heaviest flood with QoS on,
+	// high-priority latency and re-protection must stay near baseline
+	// and staged RAM under the budget.
+	var worst overloadRow
+	for _, r := range rows {
+		if r.Mode == "qos" && r.LoadMult == 4 && r.Tenant == "hi" {
+			worst = r
+		}
+	}
+	b := base["qos"]
+	fmt.Printf("  qos 4x vs unloaded: p99 %.2fx (want <= 3x), rebuild %.2fx (want <= 2x), ram hw %d <= budget %d: %v\n",
+		ratio(worst.P99Ms, b.P99Ms), ratio(worst.RebuildMs, b.RebuildMs),
+		worst.RAMHighWater, overloadBudget, worst.RAMHighWater <= overloadBudget)
+
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d measurements to %s\n", len(rows), outPath)
+	return nil
+}
+
+func ratio(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a / b
+}
+
+// overloadPoint measures one (mode, load) point on a fresh group:
+// server 1 is lost and replaced empty, then for one window a paced
+// high-priority producer, mult*2 flood workers on the low-priority
+// tenant, and the CoREC rebuild of the replaced server's shards all run
+// concurrently. Returns the hi row (with rebuild/RAM readings) and, for
+// loaded points, the lo row.
+func overloadPoint(mode string, mult int) ([]overloadRow, error) {
+	global := overloadGlobal()
+	cfg := staging.Config{
+		Global:                global,
+		NServers:              overloadServers,
+		Bits:                  2,
+		ElemSize:              8,
+		MemoryBudgetPerServer: overloadBudget,
+	}
+	qcfg := qos.Config{
+		Tenants: map[string]qos.Quota{
+			"lo": {StagingBytes: overloadLoQuota, Priority: 0},
+			"hi": {Priority: 2},
+		},
+		Default: qos.Quota{Priority: 1},
+	}
+	if mode == "qos" {
+		cfg.QoS = &qcfg
+	}
+	// The retry layer is part of the system under test: typed overload
+	// rejections carry retry-after hints the clients honor, so shed
+	// flood workers self-throttle instead of spinning. The bare-budget
+	// rejection of "none" mode is a terminal handler error — those
+	// clients hammer on, which is exactly the contrast being measured.
+	tr := transport.WithRetry(transport.NewInProc(), transport.RetryPolicy{
+		MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 10 * time.Millisecond, Jitter: 0.2, Seed: 1,
+	})
+	defer tr.Close()
+	g, err := staging.StartGroup(tr, "overload", cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer g.Close()
+
+	// Protected checkpoint shards, placed before the failure so the
+	// rebuild has redundancy to restore.
+	hiClient, err := g.NewClient("bench/hi")
+	if err != nil {
+		return nil, err
+	}
+	defer hiClient.Close()
+	conns := make([]transport.Client, hiClient.NumServers())
+	for i := range conns {
+		conns[i] = hiClient.ShardConn(i)
+	}
+	red, err := corec.New(corec.Config{Mode: corec.Replication, Replicas: 2}, conns)
+	if err != nil {
+		return nil, err
+	}
+	shard := make([]byte, rebuildKeyBytes)
+	for i := range shard {
+		shard[i] = byte(i * 31)
+	}
+	keys := make([]string, rebuildKeys)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("ckpt/k%d", i)
+		if err := red.Put(keys[i], shard); err != nil {
+			return nil, err
+		}
+	}
+
+	// Lose server 1 and bring up an empty replacement with the same
+	// budget and admission config (the promotion path does the same via
+	// EnableQoS on the spare).
+	if err := g.FailStop(1); err != nil {
+		return nil, err
+	}
+	if err := g.ReplaceServer(1); err != nil {
+		return nil, err
+	}
+	repl := g.Server(1)
+	repl.SetMemoryBudget(overloadBudget)
+	if mode == "qos" {
+		repl.EnableQoS(qcfg)
+	}
+
+	payload := make([]byte, domain.BufLen(global, 8))
+	for i := range payload {
+		payload[i] = byte(i * 7)
+	}
+	deadline := time.Now().Add(overloadWindow)
+
+	// Flood workers: the low-priority tenant offers distinct unlogged
+	// objects as fast as rejections allow (the retry layer honors the
+	// server's retry-after hints, so a shed worker self-throttles).
+	var loOps, loRejects, floodSeq atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < 2*mult; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := g.NewClient(fmt.Sprintf("bench/lo%d", w))
+			if err != nil {
+				return
+			}
+			defer c.Close()
+			for time.Now().Before(deadline) {
+				name := fmt.Sprintf("lo/f%d", floodSeq.Add(1))
+				if err := c.Put(name, 1, global, payload); err != nil {
+					loRejects.Add(1)
+				} else {
+					loOps.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	// Concurrent re-protection: rebuild passes repeat for the whole
+	// window, un-protecting server 1's shards (untimed) before each
+	// timed pass, so the reading is a median over many passes instead of
+	// one noisy measurement.
+	var rebuildPasses []time.Duration
+	var rebuildErrs int
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for time.Now().Before(deadline) {
+			for _, k := range keys {
+				conns[1].Call(staging.ShardDropReq{Key: k})
+			}
+			t0 := time.Now()
+			ok := true
+			for _, k := range keys {
+				if _, err := red.Rebuild(k); err != nil {
+					rebuildErrs++
+					ok = false
+					break
+				}
+			}
+			if ok {
+				rebuildPasses = append(rebuildPasses, time.Since(t0))
+			}
+		}
+	}()
+
+	// RAM high-water sampler across the live servers.
+	var ramHW int64
+	stopSampler := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			for i := 0; i < overloadServers; i++ {
+				if raw, err := g.Server(i).Handle(staging.StatsReq{}); err == nil {
+					if st, ok := raw.(staging.StatsResp); ok && st.StoreBytes > ramHW {
+						ramHW = st.StoreBytes
+					}
+				}
+			}
+			select {
+			case <-stopSampler:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
+	}()
+
+	// The high-priority producer: paced puts of a rolling version under
+	// one name (unlogged replacement, so its footprint stays flat).
+	var hiOps, hiRejects int64
+	var lat []time.Duration
+	start := time.Now()
+	for v := int64(1); time.Now().Before(deadline); v++ {
+		t0 := time.Now()
+		err := hiClient.Put("hi/field", v, global, payload)
+		if err != nil {
+			hiRejects++
+		} else {
+			hiOps++
+			lat = append(lat, time.Since(t0))
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sec := time.Since(start).Seconds()
+	close(stopSampler)
+	wg.Wait()
+	// Without admission control a flooded group can refuse the
+	// re-protection writes: a point with no completed pass reports -1
+	// (unprotected) rather than failing the experiment.
+	rebuildMs := -1.0
+	if len(rebuildPasses) > 0 {
+		rebuildMs = percentileMs(rebuildPasses, 0.5)
+	}
+
+	rows := []overloadRow{{
+		Mode: mode, LoadMult: mult, Tenant: "hi",
+		Ops: hiOps, Rejects: hiRejects, Seconds: sec,
+		GoodputMBs:   float64(hiOps) * float64(len(payload)) / (1 << 20) / sec,
+		P50Ms:        percentileMs(lat, 0.50),
+		P99Ms:        percentileMs(lat, 0.99),
+		RebuildMs:    rebuildMs,
+		RebuildErrs:  rebuildErrs,
+		RAMHighWater: ramHW,
+		BudgetBytes:  overloadBudget,
+	}}
+	if mult > 0 {
+		rows = append(rows, overloadRow{
+			Mode: mode, LoadMult: mult, Tenant: "lo",
+			Ops: loOps.Load(), Rejects: loRejects.Load(), Seconds: sec,
+			GoodputMBs: float64(loOps.Load()) * float64(len(payload)) / (1 << 20) / sec,
+		})
+	}
+	return rows, nil
+}
+
+func percentileMs(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return float64(s[idx]) / float64(time.Millisecond)
+}

@@ -40,6 +40,7 @@ import (
 	"gospaces/internal/domain"
 	"gospaces/internal/expt"
 	"gospaces/internal/health"
+	"gospaces/internal/qos"
 	"gospaces/internal/staging"
 	"gospaces/internal/synth"
 	"gospaces/internal/transport"
@@ -173,6 +174,10 @@ type ServeOptions struct {
 	// recovery supervisor can restore a fail-stopped server's log onto
 	// a promoted spare. 0 disables log replication.
 	WlogReplicas int
+	// QoS enables the admission-control layer: per-tenant quotas,
+	// priority-ordered load shedding with typed retry-after rejections,
+	// and the foreground/recovery priority lanes. nil disables it.
+	QoS *QoSConfig
 }
 
 // Serve starts staging server id listening on addr (host:port; use
@@ -192,6 +197,9 @@ func ServeWithOptions(addr string, id int, opts ServeOptions) (*StagingServer, e
 	}
 	srv := staging.NewServer(id)
 	srv.SetSpare(opts.Spare)
+	if opts.QoS != nil {
+		srv.EnableQoS(*opts.QoS)
+	}
 	closer, err := tr.Listen(addr, srv.Handle)
 	if err != nil {
 		return nil, fmt.Errorf("gospaces: serve: %w", err)
@@ -487,6 +495,115 @@ func leaderOne(tr transport.Transport, addr string) LeaderView {
 			Slot: in.Slot, DeadAddr: in.DeadAddr, Spare: in.Spare, Token: in.Token,
 		})
 	}
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Admission control and QoS (dsctl qos wraps ProbeQoS).
+
+// QoSConfig configures the staging admission-control layer: tenant
+// quotas over staging memory and event-log bytes, the global
+// high-water mark for priority-ordered load shedding, retry-after
+// sizing, and the foreground/recovery lane weights. Enable it with
+// StagingConfig.QoS (in-process groups) or ServeOptions.QoS (TCP
+// servers).
+type QoSConfig = qos.Config
+
+// QoSQuota is one tenant's admission limits and shedding priority.
+// Zero limits are unlimited; higher priority sheds later.
+type QoSQuota = qos.Quota
+
+// ErrOverloaded is the typed admission rejection: which tenant hit
+// which resource, and when to come back. The retry layer honors
+// RetryAfter automatically; OverloadedError extracts it from any
+// wrapped or wire-flattened error chain.
+type ErrOverloaded = qos.ErrOverloaded
+
+// Overloaded resources reported in ErrOverloaded.Resource.
+const (
+	// ResourceStaging is a tenant's staging-memory quota.
+	ResourceStaging = qos.ResourceStaging
+	// ResourceWlog is a tenant's event-log byte quota.
+	ResourceWlog = qos.ResourceWlog
+	// ResourceGlobal is the server-wide staging-RAM budget (priority-
+	// ordered shedding above the high-water mark).
+	ResourceGlobal = qos.ResourceGlobal
+)
+
+// OverloadedError extracts the typed overload rejection from err,
+// looking through error wrapping and the string form RPC transports
+// flatten remote errors into.
+func OverloadedError(err error) (*ErrOverloaded, bool) { return qos.FromError(err) }
+
+// QoSTenant is one tenant's admission accounting on one server.
+type QoSTenant = staging.QosTenant
+
+// QoSView is one staging server's admission-control accounting as seen
+// by a probe.
+type QoSView struct {
+	// Addr is the probed address.
+	Addr string
+	// Alive is true when the server answered; Err holds the failure
+	// otherwise.
+	Alive bool
+	// Enabled is true when the admission layer is on.
+	Enabled bool
+	// ID is the server's id within its group.
+	ID int
+	// Tenants is the per-tenant usage, quota, and admit/shed accounting.
+	Tenants []QoSTenant
+	// Admits and Sheds count admission decisions server-wide.
+	Admits, Sheds int64
+	// QueueForeground and QueueRecovery are the current lane queue
+	// depths.
+	QueueForeground, QueueRecovery int64
+	// ReplLag is the event-log replication backlog (records shipped
+	// behind the log sequence).
+	ReplLag int64
+	// Err describes the probe failure when Alive is false.
+	Err string
+}
+
+// ProbeQoS asks each address for its admission-control view: tenant
+// quota usage, admit/shed counters, lane queue depths, and replication
+// lag. Dead servers are reported with Alive=false rather than failing
+// the probe. dsctl qos wraps this.
+func ProbeQoS(addrs []string, opts DialOptions) []QoSView {
+	tr := transport.NewTCPTimeout(opts.CallTimeout, opts.DialTimeout)
+	out := make([]QoSView, len(addrs))
+	for i, addr := range addrs {
+		out[i] = qosOne(tr, addr)
+	}
+	return out
+}
+
+func qosOne(tr transport.Transport, addr string) QoSView {
+	v := QoSView{Addr: addr}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	defer conn.Close()
+	raw, err := conn.Call(staging.QosStatsReq{})
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	resp, ok := raw.(staging.QosStatsResp)
+	if !ok {
+		v.Err = fmt.Sprintf("unexpected qos-stats response %T", raw)
+		return v
+	}
+	v.Alive = true
+	v.Enabled = resp.Enabled
+	v.ID = resp.ID
+	v.Tenants = resp.Tenants
+	v.Admits = resp.Admits
+	v.Sheds = resp.Sheds
+	v.QueueForeground = resp.QueueForeground
+	v.QueueRecovery = resp.QueueRecovery
+	v.ReplLag = resp.ReplLag
 	return v
 }
 

@@ -136,9 +136,11 @@ func (c *Client) Put(key string, data []byte) error {
 
 // fetch returns shard i of key, or (nil, nil) when the server is
 // unreachable or the shard is absent — degraded-read tolerance.
-func (c *Client) fetch(key string, i int) ([]byte, error) {
+// rebuild marks fetches issued by re-protection so the server's QoS
+// layer schedules them on the recovery lane, not the foreground lane.
+func (c *Client) fetch(key string, i int, rebuild bool) ([]byte, error) {
 	s := c.server(key, i)
-	raw, err := c.conns[s].Call(staging.ShardGetReq{Key: key, Shard: i})
+	raw, err := c.conns[s].Call(staging.ShardGetReq{Key: key, Shard: i, Rebuild: rebuild})
 	if err != nil {
 		return nil, nil // treat as lost shard
 	}
@@ -155,7 +157,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 	switch c.cfg.Mode {
 	case Replication:
 		for i := 0; i < c.cfg.Replicas; i++ {
-			if d, _ := c.fetch(key, i); d != nil {
+			if d, _ := c.fetch(key, i, false); d != nil {
 				return d, nil
 			}
 		}
@@ -165,7 +167,7 @@ func (c *Client) Get(key string) ([]byte, error) {
 		shards := make([][]byte, n)
 		have := 0
 		for i := 0; i < n && have < c.cfg.K; i++ {
-			d, _ := c.fetch(key, i)
+			d, _ := c.fetch(key, i, false)
 			if d != nil {
 				shards[i] = d
 				have++
@@ -194,7 +196,7 @@ func (c *Client) Rebuild(key string) (int64, error) {
 	case Replication:
 		var good []byte
 		for i := 0; i < c.cfg.Replicas; i++ {
-			if d, _ := c.fetch(key, i); d != nil {
+			if d, _ := c.fetch(key, i, true); d != nil {
 				good = d
 				break
 			}
@@ -204,7 +206,7 @@ func (c *Client) Rebuild(key string) (int64, error) {
 		}
 		var restored int64
 		for i := 0; i < c.cfg.Replicas; i++ {
-			if d, _ := c.fetch(key, i); d == nil {
+			if d, _ := c.fetch(key, i, true); d == nil {
 				s := c.server(key, i)
 				if _, err := c.conns[s].Call(staging.ShardPutReq{Key: key, Shard: i, Data: good, Rebuild: true}); err != nil {
 					return restored, err
@@ -219,7 +221,7 @@ func (c *Client) Rebuild(key string) (int64, error) {
 		var missing []int
 		have := 0
 		for i := 0; i < n; i++ {
-			d, _ := c.fetch(key, i)
+			d, _ := c.fetch(key, i, true)
 			if d != nil {
 				shards[i] = d
 				have++

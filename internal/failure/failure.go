@@ -41,6 +41,12 @@ const (
 	// (internal/workflow.RunNemesis) consumes it to crash leaders
 	// mid-promotion; the chaos transport ignores it.
 	SupervisorKill
+	// TenantOverload floods the staging group with low-priority tenant
+	// puts for Duration — offered load, not a fault in the transport
+	// sense. The nemesis harness consumes it to drive the admission
+	// control layer (internal/qos) while real faults are in flight; the
+	// chaos transport ignores it.
+	TenantOverload
 )
 
 // String renders the kind for traces and logs.
@@ -58,6 +64,8 @@ func (k Kind) String() string {
 		return "server-fail-stop"
 	case SupervisorKill:
 		return "supervisor-kill"
+	case TenantOverload:
+		return "tenant-overload"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -217,6 +225,36 @@ func Nemesis(seed int64, n int, horizon, meanFault time.Duration, nServers, nSup
 			sched = append(sched, Injection{At: at, Kind: ServerCrash, Server: rng.Intn(nServers), Duration: dur})
 		case 2:
 			sched = append(sched, Injection{At: at, Kind: SupervisorKill, Server: rng.Intn(nSupervisors)})
+		}
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+// NemesisOverload draws a schedule composing permanent staging-server
+// fail-stops with tenant overload windows of mean length meanFault —
+// the soak for the admission-control layer: recovery promotions must
+// complete, and quotas must hold, while a low-priority tenant floods
+// the group. Deterministic for a given seed.
+func NemesisOverload(seed int64, n int, horizon, meanFault time.Duration, nServers int) (Schedule, error) {
+	if horizon <= time.Nanosecond {
+		return nil, fmt.Errorf("failure: horizon %v too short", horizon)
+	}
+	if meanFault <= 0 {
+		return nil, fmt.Errorf("failure: non-positive mean fault duration %v", meanFault)
+	}
+	if nServers <= 0 {
+		return nil, fmt.Errorf("failure: non-positive server count %d", nServers)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon)-1)) + 1
+		if rng.Intn(2) == 0 {
+			sched = append(sched, Injection{At: at, Kind: ServerFailStop, Server: rng.Intn(nServers)})
+		} else {
+			dur := meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+			sched = append(sched, Injection{At: at, Kind: TenantOverload, Duration: dur})
 		}
 	}
 	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })

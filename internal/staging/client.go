@@ -8,6 +8,7 @@ import (
 
 	"gospaces/internal/dht"
 	"gospaces/internal/domain"
+	"gospaces/internal/qos"
 	"gospaces/internal/transport"
 )
 
@@ -72,6 +73,10 @@ type Config struct {
 	// event-log mutations to (K membership successors). 0 disables log
 	// replication: the recovery metadata then dies with its server.
 	WlogReplicas int
+	// QoS, when non-nil, enables multi-tenant admission control and the
+	// weighted two-lane scheduler on every server (and spare) of the
+	// group. nil (the default) serves all traffic unconditionally.
+	QoS *qos.Config
 }
 
 // Pool is a client-side view of a staging group: the spatial index plus

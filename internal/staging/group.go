@@ -50,6 +50,9 @@ func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, erro
 	for i := 0; i < cfg.NServers; i++ {
 		srv := NewServer(i)
 		srv.SetMemoryBudget(cfg.MemoryBudgetPerServer)
+		if cfg.QoS != nil {
+			srv.EnableQoS(*cfg.QoS)
+		}
 		// A prefix containing ":" is a TCP host:port (use ":0" for
 		// ephemeral ports); otherwise addresses are "<prefix>/<id>".
 		addr := fmt.Sprintf("%s/%d", prefix, i)
@@ -104,6 +107,12 @@ func (g *Group) AddSpare() (string, error) {
 	srv := NewServer(id)
 	srv.SetSpare(true)
 	srv.SetMemoryBudget(g.Pool.cfg.MemoryBudgetPerServer)
+	if g.Pool.cfg.QoS != nil {
+		// A promoted spare serves under the same admission policy; its
+		// per-tenant usage is inherited at promotion when the wlog
+		// restore rebases the accounting from the restored content.
+		srv.EnableQoS(*g.Pool.cfg.QoS)
+	}
 	addr := fmt.Sprintf("%s/spare/%d", g.prefix, n)
 	if strings.Contains(g.prefix, ":") {
 		addr = g.prefix

@@ -112,10 +112,13 @@ type ShardPutReq struct {
 // ShardPutResp acknowledges a shard write.
 type ShardPutResp struct{}
 
-// ShardGetReq fetches a resilience shard.
+// ShardGetReq fetches a resilience shard. Rebuild marks fetches issued
+// by CoREC re-protection so the QoS layer schedules them on the
+// recovery lane instead of the foreground lane.
 type ShardGetReq struct {
-	Key   string
-	Shard int
+	Key     string
+	Shard   int
+	Rebuild bool
 }
 
 // ShardGetResp returns the shard payload; Found is false when absent.
@@ -462,6 +465,37 @@ type StatsResp struct {
 	FencedRejects int64
 }
 
+// QosStatsReq asks a server for its admission-control accounting
+// (dsctl qos surfaces it).
+type QosStatsReq struct{}
+
+// QosTenant is one tenant's accounting row on one server.
+type QosTenant struct {
+	Tenant       string
+	StoreBytes   int64 // resident staging payload bytes charged to the tenant
+	WlogBytes    int64 // resident logged (replay-protected) bytes
+	StagingQuota int64 // configured cap (0 = unlimited)
+	WlogQuota    int64
+	Priority     int
+	Admits       int64
+	Sheds        int64
+}
+
+// QosStatsResp reports a server's admission-control state: per-tenant
+// usage against quota, aggregate admit/shed counters, and the lane
+// scheduler's queue depths. Enabled is false when the server runs
+// without a QoS config (all other fields are then zero).
+type QosStatsResp struct {
+	Enabled         bool
+	ID              int
+	Tenants         []QosTenant
+	Admits          int64
+	Sheds           int64
+	QueueForeground int64
+	QueueRecovery   int64
+	ReplLag         int64
+}
+
 func init() {
 	gob.Register(PutReq{})
 	gob.Register(PutResp{})
@@ -492,6 +526,8 @@ func init() {
 	gob.Register(TraceResp{})
 	gob.Register(StatsReq{})
 	gob.Register(StatsResp{})
+	gob.Register(QosStatsReq{})
+	gob.Register(QosStatsResp{})
 	gob.Register(ReplApplyReq{})
 	gob.Register(ReplApplyResp{})
 	gob.Register(ReplSnapshotReq{})

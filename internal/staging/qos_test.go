@@ -1,0 +1,274 @@
+package staging
+
+import (
+	"testing"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/qos"
+	"gospaces/internal/transport"
+)
+
+// qosPut builds a valid full-box put for name/version on one server.
+func qosPut(name string, version int64, bbox domain.BBox, logged bool, pattern int64) PutReq {
+	return PutReq{
+		App: "sim/0", Name: name, Version: version, ElemSize: 8,
+		Piece:  Piece{BBox: bbox, Data: fill(domain.BufLen(bbox, 8), pattern)},
+		Logged: logged,
+	}
+}
+
+func TestQoSServerRejectsOverQuotaTenant(t *testing.T) {
+	box := domain.Box3(0, 0, 0, 3, 3, 0) // 16 cells × 8B = 128B per put
+	srv := NewServer(0)
+	srv.EnableQoS(qos.Config{
+		Tenants: map[string]qos.Quota{"lo": {StagingBytes: 300}},
+	})
+
+	if _, err := srv.Handle(qosPut("lo/field", 1, box, false, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Unlogged semantics keep only the latest version: admission sees
+	// 128B resident + 128B incoming = 256B ≤ 300B, and the replacement
+	// frees the old version, so usage settles back at 128B.
+	if _, err := srv.Handle(qosPut("lo/field", 2, box, false, 2)); err != nil {
+		t.Fatalf("replacement put rejected: %v", err)
+	}
+	// A second object lands at 256B: still under quota.
+	if _, err := srv.Handle(qosPut("lo/other", 1, box, false, 3)); err != nil {
+		t.Fatalf("second object rejected (replacement not freed?): %v", err)
+	}
+	// A third pushes the tenant to 384B > 300B: typed rejection.
+	_, err := srv.Handle(qosPut("lo/third", 1, box, false, 4))
+	ov, ok := qos.FromError(err)
+	if !ok {
+		t.Fatalf("over-quota put error = %v, want qos.ErrOverloaded", err)
+	}
+	if ov.Tenant != "lo" || ov.Resource != qos.ResourceStaging || ov.RetryAfter <= 0 {
+		t.Fatalf("rejection = %+v", ov)
+	}
+	// Other tenants are unaffected.
+	if _, err := srv.Handle(qosPut("hi/field", 1, box, false, 5)); err != nil {
+		t.Fatalf("unrelated tenant rejected: %v", err)
+	}
+}
+
+func TestQoSGlobalShedOrderAtServer(t *testing.T) {
+	box := domain.Box3(0, 0, 0, 3, 3, 0) // 128B per put
+	srv := NewServer(0)
+	srv.SetMemoryBudget(1024)
+	srv.EnableQoS(qos.Config{
+		Tenants:   map[string]qos.Quota{"lo": {Priority: 0}, "hi": {Priority: 1}},
+		HighWater: 0.7,
+	})
+	// Fill to 768B = 75% of budget with high-priority data. Distinct
+	// names, so neither replacement nor GC can reclaim any of it.
+	for i := int64(1); i <= 6; i++ {
+		name := "hi/fill" + string(rune('0'+i))
+		if _, err := srv.Handle(qosPut(name, 1, box, false, i)); err != nil {
+			t.Fatalf("fill put %d: %v", i, err)
+		}
+	}
+	// 75% is above the low tenant's 70% threshold but below the high
+	// tenant's 100% ceiling: lo sheds, hi still admits.
+	_, err := srv.Handle(qosPut("lo/field", 1, box, false, 9))
+	ov, ok := qos.FromError(err)
+	if !ok || ov.Resource != qos.ResourceGlobal {
+		t.Fatalf("low-priority put above high-water: err=%v parsed=%+v", err, ov)
+	}
+	if _, err := srv.Handle(qosPut("hi/field", 1, box, false, 9)); err != nil {
+		t.Fatalf("high-priority put shed below ceiling: %v", err)
+	}
+	if srv.store.BytesUsed() > 1024 {
+		t.Fatalf("staging RAM %d exceeds budget", srv.store.BytesUsed())
+	}
+}
+
+func TestQoSClientSeesTypedRejection(t *testing.T) {
+	g, err := StartGroup(transport.NewInProc(), "stage", Config{
+		Global:   domain.Box3(0, 0, 0, 63, 63, 31),
+		NServers: 2,
+		Bits:     2,
+		ElemSize: 8,
+		QoS: &qos.Config{
+			Tenants: map[string]qos.Quota{"lo": {StagingBytes: 1}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	c, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	global := g.Config().Global
+	err = c.Put("lo/field", 1, global, fill(domain.BufLen(global, 8), 1))
+	ov, ok := qos.FromError(err)
+	if !ok {
+		t.Fatalf("client put error = %v, want typed overload", err)
+	}
+	if ov.Tenant != "lo" || ov.RetryAfter <= 0 {
+		t.Fatalf("rejection = %+v", ov)
+	}
+	// An unquota'd tenant still goes through end to end.
+	if err := c.Put("hi/field", 1, global, fill(domain.BufLen(global, 8), 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQoSQuotaInheritedAcrossPromotion is the no-stampede property: a
+// promoted spare restoring a dead server's state from the replicated
+// wlog must inherit the dead server's per-tenant accounting — a quota
+// reset would re-admit a full quota of puts on top of the restored
+// bytes.
+func TestQoSQuotaInheritedAcrossPromotion(t *testing.T) {
+	const loQuota = int64(1 << 20)
+	qcfg := &qos.Config{
+		Tenants: map[string]qos.Quota{"lo": {StagingBytes: loQuota}},
+	}
+	g, err := StartGroup(transport.NewInProc(), "stage", Config{
+		Global:       domain.Box3(0, 0, 0, 15, 15, 7),
+		NServers:     3,
+		Bits:         2,
+		ElemSize:     8,
+		WlogReplicas: 1,
+		QoS:          qcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	spareAddr, err := g.AddSpare()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	global := g.Config().Global
+	for v := int64(1); v <= 3; v++ {
+		if err := c.PutWithLog("lo/field", v, global, fill(domain.BufLen(global, 8), v)); err != nil {
+			t.Fatalf("put v%d: %v", v, err)
+		}
+	}
+
+	origin := g.Server(0)
+	var originLo QosTenant
+	for _, row := range origin.qosStats().Tenants {
+		if row.Tenant == "lo" {
+			originLo = row
+		}
+	}
+	if originLo.StoreBytes == 0 || originLo.WlogBytes == 0 {
+		t.Fatalf("origin holds no accounted lo bytes: %+v", originLo)
+	}
+
+	// Promote: install slot 0's replica (hosted on server 1) on the spare.
+	st := fetchReplica(t, g.Server(1), 0)
+	spare := g.ServerAt(spareAddr)
+	if _, err := spare.handleWlogInstall(WlogInstallReq{Slot: 0, State: st}); err != nil {
+		t.Fatal(err)
+	}
+
+	var spareLo QosTenant
+	for _, row := range spare.qosStats().Tenants {
+		if row.Tenant == "lo" {
+			spareLo = row
+		}
+	}
+	if spareLo.StoreBytes != originLo.StoreBytes || spareLo.WlogBytes != originLo.WlogBytes {
+		t.Fatalf("promoted spare accounting %+v diverges from origin %+v", spareLo, originLo)
+	}
+
+	// The sharp edge of the stampede: craft a put sized between the
+	// tenant's remaining headroom and the full quota. A fresh (reset)
+	// controller would admit it — only the inherited usage rejects it.
+	cells := (loQuota-spareLo.StoreBytes)/8 + 1
+	floodBox := domain.Box3(0, 0, 0, cells-1, 0, 0)
+	flood := qosPut("lo/flood", 9, floodBox, false, 9)
+	if int64(len(flood.Piece.Data)) > loQuota {
+		t.Fatalf("flood payload %d exceeds the quota outright; premise needs it admissible when usage resets", len(flood.Piece.Data))
+	}
+	if _, err := origin.Handle(flood); err == nil {
+		t.Fatal("origin admitted an over-quota put (test premise broken)")
+	}
+	_, err = spare.Handle(flood)
+	if ov, ok := qos.FromError(err); !ok {
+		t.Fatalf("promoted spare re-admitted over-quota put (stampede): err=%v", err)
+	} else if ov.Tenant != "lo" || ov.Resource != qos.ResourceStaging {
+		t.Fatalf("rejection = %+v", ov)
+	}
+}
+
+func TestQosStatsHandle(t *testing.T) {
+	srv := NewServer(3)
+	raw, err := srv.Handle(QosStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp := raw.(QosStatsResp); resp.Enabled || resp.ID != 3 {
+		t.Fatalf("disabled server qos stats = %+v", resp)
+	}
+
+	srv.EnableQoS(qos.Config{Tenants: map[string]qos.Quota{"lo": {StagingBytes: 100}}})
+	box := domain.Box3(0, 0, 0, 3, 3, 0)
+	if _, err := srv.Handle(qosPut("lo/a", 1, box, false, 1)); err == nil {
+		t.Fatal("expected rejection (128B > 100B quota)")
+	}
+	if _, err := srv.Handle(qosPut("hi/a", 1, box, false, 1)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err = srv.Handle(QosStatsReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := raw.(QosStatsResp)
+	if !resp.Enabled || resp.Admits != 1 || resp.Sheds != 1 {
+		t.Fatalf("qos stats = %+v", resp)
+	}
+	found := false
+	for _, row := range resp.Tenants {
+		if row.Tenant == "lo" && row.Sheds == 1 && row.StagingQuota == 100 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("lo tenant row missing: %+v", resp.Tenants)
+	}
+}
+
+// TestQoSGCRebasesTenantAccounting checks that checkpoint-time garbage
+// collection re-derives tenant usage from the survivors, freeing quota
+// headroom the tenant can spend again.
+func TestQoSGCRebasesTenantAccounting(t *testing.T) {
+	box := domain.Box3(0, 0, 0, 3, 3, 0) // 128B per put
+	srv := NewServer(0)
+	srv.EnableQoS(qos.Config{
+		Tenants: map[string]qos.Quota{"lo": {StagingBytes: 450}},
+	})
+	// Three logged versions, each read, fill 384B of the 450B quota.
+	for v := int64(1); v <= 3; v++ {
+		if _, err := srv.Handle(qosPut("lo/f", v, box, true, v)); err != nil {
+			t.Fatalf("put v%d: %v", v, err)
+		}
+		if _, err := srv.Handle(GetReq{App: "ana/0", Name: "lo/f", Version: v, BBox: box, Logged: true}); err != nil {
+			t.Fatalf("get v%d: %v", v, err)
+		}
+	}
+	if _, err := srv.Handle(qosPut("lo/g", 1, box, true, 9)); err == nil {
+		t.Fatal("expected rejection at 512B > 450B")
+	}
+	// A workflow checkpoint by every component trims the log events
+	// pinning old versions; GC then drops all but the newest.
+	for _, app := range []string{"sim/0", "ana/0"} {
+		if _, err := srv.Handle(CheckpointReq{App: app}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := srv.Handle(qosPut("lo/g", 1, box, true, 9)); err != nil {
+		t.Fatalf("post-GC put still rejected: %v", err)
+	}
+}

@@ -241,6 +241,15 @@ func (r *replicator) position() int64 {
 	return r.seq
 }
 
+// lag returns the replication backlog: records emitted but not yet
+// dealt with by the sender — one of the admission controller's
+// retry-after pressure signals.
+func (r *replicator) lag() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seq - r.shipped
+}
+
 // close stops the sender goroutine and unblocks flushers.
 func (r *replicator) close() {
 	r.mu.Lock()
@@ -710,6 +719,12 @@ func (s *Server) handleWlogInstall(r WlogInstallReq) (any, error) {
 	if s.repl != nil {
 		s.repl.setState(r.State.Seq, r.State.Locks)
 	}
+	// The store was just replaced wholesale with the dead server's
+	// content; a promoted spare inherits the per-tenant quota usage that
+	// content implies, so admission resumes where the dead server left
+	// off instead of resetting (a reset invites a post-recovery put
+	// stampede straight past the quotas).
+	s.rebaseQoS()
 	s.reg.Counter("log_installs").Inc()
 	return WlogInstallResp{Records: r.State.Seq}, nil
 }

@@ -11,6 +11,7 @@ import (
 	"gospaces/internal/health"
 	"gospaces/internal/locks"
 	"gospaces/internal/metrics"
+	"gospaces/internal/qos"
 	"gospaces/internal/store"
 	"gospaces/internal/trace"
 	"gospaces/internal/wlog"
@@ -71,6 +72,13 @@ type Server struct {
 	repl     *replicator
 	replicas *replicaSet
 	replMu   sync.Mutex
+
+	// QoS (nil when disabled, the default): qosCtl makes the per-tenant
+	// admit/shed decision at put admission, qosSched is the weighted
+	// two-lane concurrency gate at dispatch. Both are installed before
+	// the server serves traffic (EnableQoS) and never change after.
+	qosCtl   *qos.Controller
+	qosSched *qos.Scheduler
 }
 
 // lockAttempt records the latest lock RPC admitted for one holder. Lock
@@ -141,9 +149,103 @@ func (s *Server) Epoch() uint64 {
 	return s.epoch
 }
 
+// EnableQoS installs the admission controller and lane scheduler.
+// Call before the server serves traffic (like EnableReplication).
+func (s *Server) EnableQoS(cfg qos.Config) {
+	s.qosCtl = qos.NewController(cfg, s.reg)
+	s.qosSched = qos.NewScheduler(cfg, s.reg)
+}
+
+// qosSignals samples the live pressure signals the admission
+// controller folds into retry-after hints: the lane scheduler's queue
+// depth and the wlog replication backlog.
+func (s *Server) qosSignals() qos.Signals {
+	var sig qos.Signals
+	if s.qosSched != nil {
+		sig.QueueDepth = s.qosSched.QueueDepth()
+	}
+	if s.repl != nil {
+		sig.ReplLag = s.repl.lag()
+	}
+	return sig
+}
+
+// rebaseQoS re-derives the per-tenant accounting from the resident
+// store contents — after bulk frees (GC) and after a wlog restore
+// replaced the store wholesale (a promoted spare inheriting a dead
+// server's state, and with it the dead server's quota usage).
+func (s *Server) rebaseQoS() {
+	if s.qosCtl == nil {
+		return
+	}
+	objs := s.store.Export()
+	items := make([]qos.UsageItem, len(objs))
+	for i, o := range objs {
+		items[i] = qos.UsageItem{Name: o.Name, Bytes: o.Bytes(), Logged: o.Logged}
+	}
+	s.qosCtl.Rebase(items)
+}
+
+// chargeQoS adjusts the per-tenant accounting after a store mutation.
+func (s *Server) chargeQoS(name string, storeDelta, wlogDelta int64) {
+	if s.qosCtl != nil {
+		s.qosCtl.Charge(name, storeDelta, wlogDelta)
+	}
+}
+
+// laneFor classifies a request for the two-lane scheduler. Envelopes
+// classify by their payload. Control-plane traffic — health, leases,
+// membership, stats — and wlog replication bypass the gate: replication
+// must never queue behind data traffic (a gated put holds a slot while
+// it flushes to its peer; if the peer's ReplApply needed a slot in
+// turn, two mutually-replicating servers under symmetric overload
+// would deadlock) and per the shedding policy is never shed.
+// Re-protection traffic — CoREC rebuild shard I/O, recovery scans, wlog
+// installs — rides the recovery lane; everything else is foreground.
+func laneFor(req any) qos.Lane {
+	switch r := req.(type) {
+	case EpochReq:
+		return laneFor(r.Req)
+	case FencedReq:
+		return laneFor(r.Req)
+	case health.PingReq, LeaseCASReq, IntentPutReq, IntentClearReq,
+		LeaderInfoReq, EpochSetReq, MembershipReq, StatsReq, QosStatsReq,
+		TraceReq, ReplApplyReq, ReplSnapshotReq, ReplFetchReq:
+		return qos.LaneControl
+	case RecoveryReq, WlogInstallReq, ShardKeysReq:
+		return qos.LaneRecovery
+	case ShardPutReq:
+		if r.Rebuild {
+			return qos.LaneRecovery
+		}
+		return qos.LaneForeground
+	case ShardGetReq:
+		if r.Rebuild {
+			return qos.LaneRecovery
+		}
+		return qos.LaneForeground
+	default:
+		return qos.LaneForeground
+	}
+}
+
 // Handle serves one staging protocol request; it is the
-// transport.Handler for this server.
+// transport.Handler for this server. With QoS enabled it first passes
+// the weighted two-lane gate; dispatch does the actual serving.
 func (s *Server) Handle(req any) (any, error) {
+	if s.qosSched != nil {
+		lane := laneFor(req)
+		if err := s.qosSched.Acquire(lane); err != nil {
+			return nil, err
+		}
+		defer s.qosSched.Release(lane)
+	}
+	return s.dispatch(req)
+}
+
+// dispatch serves one request after gating. Envelope handlers recurse
+// into dispatch (not Handle) so a request is gated exactly once.
+func (s *Server) dispatch(req any) (any, error) {
 	switch r := req.(type) {
 	case EpochReq:
 		// Membership-epoch envelope: reject calls stamped with a stale
@@ -155,7 +257,7 @@ func (s *Server) Handle(req any) (any, error) {
 			s.reg.Counter("stale_epoch_rejects").Inc()
 			return nil, &StaleEpochError{Client: r.Epoch, Server: epoch}
 		}
-		return s.Handle(r.Req)
+		return s.dispatch(r.Req)
 	case health.PingReq:
 		s.memberMu.Lock()
 		resp := health.PingResp{ID: s.id, Epoch: s.epoch, Spare: s.spare}
@@ -168,7 +270,7 @@ func (s *Server) Handle(req any) (any, error) {
 			s.reg.Counter("fenced_rejects").Inc()
 			return nil, err
 		}
-		return s.Handle(r.Req)
+		return s.dispatch(r.Req)
 	case LeaseCASReq:
 		return s.lease.cas(r, time.Now()), nil
 	case IntentPutReq:
@@ -221,6 +323,8 @@ func (s *Server) Handle(req any) (any, error) {
 		return s.handleReduce(r)
 	case StatsReq:
 		return s.stats(), nil
+	case QosStatsReq:
+		return s.qosStats(), nil
 	default:
 		return nil, fmt.Errorf("staging: server %d: unknown request type %T", s.id, req)
 	}
@@ -238,13 +342,22 @@ func (s *Server) handlePut(r PutReq) (any, error) {
 	if want := domain.BufLen(r.Piece.BBox, r.ElemSize); len(r.Piece.Data) != want {
 		return nil, fmt.Errorf("staging: put %q %v: payload %d bytes, want %d", r.Name, r.Piece.BBox, len(r.Piece.Data), want)
 	}
-	if s.budget > 0 && s.store.BytesUsed()+int64(len(r.Piece.Data)) > s.budget {
-		// Try to make room before rejecting.
+	incoming := int64(len(r.Piece.Data))
+	if s.budget > 0 && s.store.BytesUsed()+incoming > s.gcWater() {
+		// Try to make room before shedding or rejecting.
 		s.collectGarbage()
-		if s.store.BytesUsed()+int64(len(r.Piece.Data)) > s.budget {
-			return nil, fmt.Errorf("%w: %d resident + %d incoming > %d",
-				ErrOverBudget, s.store.BytesUsed(), len(r.Piece.Data), s.budget)
+	}
+	if s.qosCtl != nil {
+		// Multi-tenant admission: per-tenant quotas first, then the
+		// global ceiling shed in priority order. A rejection is typed
+		// (qos.ErrOverloaded) and carries a retry-after hint the client's
+		// retry policy honors.
+		if rej := s.qosCtl.AdmitPut(r.Name, incoming, r.Logged, s.store.BytesUsed(), s.budget, s.qosSignals()); rej != nil {
+			return nil, rej
 		}
+	} else if s.budget > 0 && s.store.BytesUsed()+incoming > s.budget {
+		return nil, fmt.Errorf("%w: %d resident + %d incoming > %d",
+			ErrOverBudget, s.store.BytesUsed(), len(r.Piece.Data), s.budget)
 	}
 	resp, seq, err := s.applyPut(r)
 	s.flushRepl(seq)
@@ -297,8 +410,14 @@ func (s *Server) applyPut(r PutReq) (PutResp, int64, error) {
 		// checksum them so the log cannot silently serve corrupt data.
 		obj.CRC = crc32.Checksum(data, castagnoli)
 	}
-	if err := s.store.Put(obj); err != nil {
+	delta, err := s.store.PutAccounted(obj)
+	if err != nil {
 		return PutResp{}, seq, err
+	}
+	if r.Logged {
+		s.chargeQoS(r.Name, delta, delta)
+	} else {
+		s.chargeQoS(r.Name, delta, 0)
 	}
 	if r.Logged {
 		s.log.CommitPut(r.App, r.Name, r.Version, r.Piece.BBox, obj.Bytes())
@@ -314,7 +433,7 @@ func (s *Server) applyPut(r PutReq) (PutResp, int64, error) {
 		// Original staging semantics: only the most recently put
 		// version is kept. Using the put version (not the max) lets a
 		// globally rolled-back workflow rewind the staged sequence.
-		s.store.KeepOnly(r.Name, r.Version)
+		s.chargeQoS(r.Name, -s.store.KeepOnly(r.Name, r.Version), 0)
 	}
 	return PutResp{}, seq, nil
 }
@@ -404,6 +523,16 @@ func (s *Server) applyCheckpoint(r CheckpointReq) (CheckpointResp, int64) {
 	return CheckpointResp{ChkID: chkID, FreedBytes: freed}, seq
 }
 
+// gcWater is the resident-bytes level above which a put first runs GC:
+// the full budget without QoS, the shedding high-water fraction with it
+// (so reclaimable garbage is collected before the shed rule fires).
+func (s *Server) gcWater() int64 {
+	if s.qosCtl != nil {
+		return int64(float64(s.budget) * s.qosCtl.Config().HighWater)
+	}
+	return s.budget
+}
+
 // collectGarbage deletes logged payload versions no component can
 // re-read, always keeping the newest version of every object (paper
 // §III-A2).
@@ -414,6 +543,11 @@ func (s *Server) collectGarbage() int64 {
 		freed += s.store.DropBelow(name, frontier, true)
 	}
 	s.reg.Counter("gc_freed_bytes").Add(freed)
+	if freed > 0 {
+		// Bulk frees move many tenants at once; re-derive the accounting
+		// from ground truth instead of threading per-name deltas out.
+		s.rebaseQoS()
+	}
 	return freed
 }
 
@@ -524,6 +658,18 @@ func (s *Server) applyLock(r LockReq, kind locks.Kind) (any, error) {
 }
 
 func (s *Server) handleShardPut(r ShardPutReq) (any, error) {
+	if s.qosCtl != nil && !r.Rebuild {
+		// Shard bytes count against the global ceiling only (checkpoint
+		// protection data, not staged objects). Rebuild re-protection is
+		// never shed: refusing it would trade an overload blip for
+		// durably lost redundancy.
+		s.mu.Lock()
+		shardBytes := s.shardBytes
+		s.mu.Unlock()
+		if rej := s.qosCtl.AdmitShard(r.Key, int64(len(r.Data)), s.store.BytesUsed()+shardBytes, s.budget, s.qosSignals()); rej != nil {
+			return nil, rej
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	m, ok := s.shards[r.Key]
@@ -587,6 +733,39 @@ func (s *Server) handleShardDrop(r ShardDropReq) (any, error) {
 		delete(s.shards, r.Key)
 	}
 	return ShardDropResp{}, nil
+}
+
+// qosStats exports the server's admission-control state for dsctl qos.
+func (s *Server) qosStats() QosStatsResp {
+	if s.qosCtl == nil {
+		return QosStatsResp{ID: s.id}
+	}
+	snap := s.qosCtl.Snapshot()
+	resp := QosStatsResp{
+		Enabled:         true,
+		ID:              s.id,
+		Tenants:         make([]QosTenant, len(snap)),
+		Admits:          s.reg.Counter("qos.admits").Value(),
+		Sheds:           s.reg.Counter("qos.sheds").Value(),
+		QueueForeground: s.reg.Gauge("qos.queue.foreground").Value(),
+		QueueRecovery:   s.reg.Gauge("qos.queue.recovery").Value(),
+	}
+	if s.repl != nil {
+		resp.ReplLag = s.repl.lag()
+	}
+	for i, t := range snap {
+		resp.Tenants[i] = QosTenant{
+			Tenant:       t.Tenant,
+			StoreBytes:   t.StoreBytes,
+			WlogBytes:    t.WlogBytes,
+			StagingQuota: t.StagingQuota,
+			WlogQuota:    t.WlogQuota,
+			Priority:     t.Priority,
+			Admits:       t.Admits,
+			Sheds:        t.Sheds,
+		}
+	}
+	return resp
 }
 
 func (s *Server) stats() StatsResp {

@@ -71,11 +71,20 @@ func New() *Store {
 // (name, version) and an identical bbox replaces the previous payload
 // (last-writer-wins, DataSpaces' update semantics).
 func (s *Store) Put(o *Object) error {
+	_, err := s.PutAccounted(o)
+	return err
+}
+
+// PutAccounted inserts like Put and returns the net change in resident
+// bytes — the object's size, minus any replaced equal-bbox payload.
+// The admission-control layer charges this delta to the object's
+// tenant.
+func (s *Store) PutAccounted(o *Object) (int64, error) {
 	if o.Name == "" {
-		return fmt.Errorf("store: object with empty name")
+		return 0, fmt.Errorf("store: object with empty name")
 	}
 	if o.BBox.IsEmpty() {
-		return fmt.Errorf("store: object %q with empty bbox", o.Name)
+		return 0, fmt.Errorf("store: object %q with empty bbox", o.Name)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -95,15 +104,16 @@ func (s *Store) Put(o *Object) error {
 	}
 	for i, ex := range vs.objs {
 		if ex.BBox.Equal(o.BBox) {
-			s.bytes += o.Bytes() - ex.Bytes()
+			delta := o.Bytes() - ex.Bytes()
+			s.bytes += delta
 			vs.objs[i] = o
-			return nil
+			return delta, nil
 		}
 	}
 	vs.objs = append(vs.objs, o)
 	s.bytes += o.Bytes()
 	s.count++
-	return nil
+	return o.Bytes(), nil
 }
 
 // GetVersion returns all objects of name at exactly version whose boxes

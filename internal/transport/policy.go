@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"gospaces/internal/metrics"
+	"gospaces/internal/qos"
 )
 
 // RetryPolicy controls the Retrying wrapper: exponential backoff with
@@ -107,7 +108,8 @@ func (r *Retrying) Close() error {
 }
 
 // Metrics returns the registry recording rpc.calls, rpc.retries,
-// rpc.timeouts, rpc.exhausted, and rpc.budget_denied counters.
+// rpc.timeouts, rpc.exhausted, rpc.budget_denied, and rpc.overloaded
+// counters.
 func (r *Retrying) Metrics() *metrics.Registry { return r.reg }
 
 // Policy returns the effective (defaulted) policy.
@@ -136,17 +138,51 @@ func (r *Retrying) delay(n int) time.Duration {
 
 // spendRetry consumes one unit of the retry budget; false means the
 // budget is exhausted and the caller must fail fast.
-func (r *Retrying) spendRetry() bool {
+func (r *Retrying) spendRetry() bool { return r.spendRetryN(1) }
+
+// spendRetryN consumes n units of the retry budget. A plain backoff
+// retry costs one unit; a server-directed retry-after wait costs
+// ceil(wait/MaxDelay) units (minimum one), so honoring overload hints
+// draws down the same budget as backoff sleeps and total stall time
+// stays bounded by Budget×MaxDelay — a server advertising long
+// retry-after under sustained overload cannot stall clients forever.
+func (r *Retrying) spendRetryN(n int64) bool {
 	if r.pol.Budget <= 0 {
 		return true
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.budget <= 0 {
+	if r.budget < n {
 		return false
 	}
-	r.budget--
+	r.budget -= n
 	return true
+}
+
+// retryAfterUnits converts a server-directed wait into retry-budget
+// units: ceil(wait/MaxDelay), minimum one.
+func (r *Retrying) retryAfterUnits(wait time.Duration) int64 {
+	if r.pol.MaxDelay <= 0 {
+		return 1
+	}
+	u := int64((wait + r.pol.MaxDelay - 1) / r.pol.MaxDelay)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// retryAfterDelay jitters a server-directed wait upward by up to the
+// policy's jitter fraction, so a cohort of shed clients does not
+// return in lockstep exactly when the server said.
+func (r *Retrying) retryAfterDelay(hint time.Duration) time.Duration {
+	if r.pol.Jitter <= 0 {
+		return hint
+	}
+	r.mu.Lock()
+	f := 1 + r.pol.Jitter*r.rng.Float64()
+	r.mu.Unlock()
+	return time.Duration(float64(hint) * f)
 }
 
 // retry runs op up to MaxAttempts times, backing off between attempts.
@@ -160,7 +196,21 @@ func (r *Retrying) retry(what string, stop <-chan struct{}, op func() error) err
 		if err == nil {
 			return nil
 		}
-		if !Retryable(err) {
+		// Typed backpressure: an overloaded server directs when to come
+		// back. The hint is honored (jittered upward) instead of blind
+		// exponential backoff, and the wait is charged against the retry
+		// budget in MaxDelay-sized units so long hints draw it down
+		// proportionally. Over TCP the rejection arrives as a RemoteError
+		// message; FromError re-types it.
+		wait := r.delay(attempt)
+		units := int64(1)
+		if ov, ok := qos.FromError(err); ok {
+			if hint := ov.RetryAfter; hint > 0 {
+				wait = r.retryAfterDelay(hint)
+				units = r.retryAfterUnits(wait)
+			}
+			r.reg.Counter("rpc.overloaded").Inc()
+		} else if !Retryable(err) {
 			return err
 		}
 		if isTimeout(err) {
@@ -170,12 +220,12 @@ func (r *Retrying) retry(what string, stop <-chan struct{}, op func() error) err
 			r.reg.Counter("rpc.exhausted").Inc()
 			return fmt.Errorf("transport: %s failed after %d attempts: %w", what, attempt+1, err)
 		}
-		if !r.spendRetry() {
+		if !r.spendRetryN(units) {
 			r.reg.Counter("rpc.budget_denied").Inc()
 			return fmt.Errorf("transport: %s: retry budget exhausted: %w", what, err)
 		}
 		r.reg.Counter("rpc.retries").Inc()
-		timer := time.NewTimer(r.delay(attempt))
+		timer := time.NewTimer(wait)
 		select {
 		case <-timer.C:
 		case <-r.done:

@@ -6,11 +6,13 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"gospaces/internal/domain"
 	"gospaces/internal/failure"
 	"gospaces/internal/health"
+	"gospaces/internal/qos"
 	"gospaces/internal/recovery"
 	"gospaces/internal/staging"
 	"gospaces/internal/transport"
@@ -55,25 +57,35 @@ type NemesisOptions struct {
 	// Chaos adds a seeded schedule of transient server blackouts on top
 	// of the deterministic deaths.
 	Chaos int
+	// Overload draws a seeded failure.NemesisOverload schedule of that
+	// many injections and arms its tenant-overload windows: during each
+	// window a quota'd low-priority tenant floods the group with puts.
+	// The group runs with the admission layer (internal/qos) enabled, so
+	// the soak asserts recovery and the logged data path survive while
+	// the flood is shed.
+	Overload int
 }
 
 // NemesisResult is the observable outcome a soak test asserts on.
 type NemesisResult struct {
-	Deaths         int    // staging servers permanently killed
-	Promotions     int64  // membership writes performed, summed across supervisors
-	SparesConsumed int    // spares permanently drawn from the pool
-	Takeovers      int64  // elections that found journaled intents to resume
-	IntentResumes  int64  // promotions resumed from a deposed leader's journal
-	SpareReturns   int64  // failed promotions that refunded the pool
-	DeadRetries    int64  // backlogged slots healed by a late AddSpare
-	Elections      int64  // lease grants, summed across supervisors
-	SupFenced      int64  // supervisor-observed fencing rejections
-	ServerFenced   int64  // server-side fenced-call rejections
-	Leaders        int    // supervisors holding the lease at the end
-	ReplayEvents   int    // events replayed through the restored logs
-	ReplayDiverged bool   // any re-issued write diverged from the event log
-	Epoch          uint64 // final membership epoch
-	DownObserved   bool   // a client saw ErrSlotDown while the slot was stranded
+	Deaths          int    // staging servers permanently killed
+	Promotions      int64  // membership writes performed, summed across supervisors
+	SparesConsumed  int    // spares permanently drawn from the pool
+	Takeovers       int64  // elections that found journaled intents to resume
+	IntentResumes   int64  // promotions resumed from a deposed leader's journal
+	SpareReturns    int64  // failed promotions that refunded the pool
+	DeadRetries     int64  // backlogged slots healed by a late AddSpare
+	Elections       int64  // lease grants, summed across supervisors
+	SupFenced       int64  // supervisor-observed fencing rejections
+	ServerFenced    int64  // server-side fenced-call rejections
+	Leaders         int    // supervisors holding the lease at the end
+	ReplayEvents    int    // events replayed through the restored logs
+	ReplayDiverged  bool   // any re-issued write diverged from the event log
+	Epoch           uint64 // final membership epoch
+	DownObserved    bool   // a client saw ErrSlotDown while the slot was stranded
+	OverloadWindows int    // tenant-overload windows armed from the schedule
+	FloodPuts       int64  // puts the flood tenant attempted during those windows
+	FloodSheds      int64  // flood puts rejected with a typed qos overload
 }
 
 var nemesisStages = []string{"intent", "restored", "replaced", "pushed"}
@@ -129,13 +141,23 @@ func RunNemesis(o NemesisOptions) (NemesisResult, error) {
 
 	tr := transport.NewChaos(transport.NewInProc(), o.Seed)
 	global := domain.Box3(0, 0, 0, 63, 63, 0)
-	group, err := staging.StartGroup(tr, fmt.Sprintf("nemesis/%d", o.Seed), staging.Config{
+	scfg := staging.Config{
 		Global:       global,
 		NServers:     o.Servers,
 		Bits:         2,
 		ElemSize:     1,
 		WlogReplicas: 2,
-	})
+	}
+	if o.Overload > 0 {
+		// Admission control on: the flood tenant gets a small staging
+		// quota at the lowest priority, everyone else (the logged
+		// producer under "nemesis/") rides the default at priority 1.
+		scfg.QoS = &qos.Config{
+			Tenants: map[string]qos.Quota{"flood": {StagingBytes: 4096, Priority: 0}},
+			Default: qos.Quota{Priority: 1},
+		}
+	}
+	group, err := staging.StartGroup(tr, fmt.Sprintf("nemesis/%d", o.Seed), scfg)
 	if err != nil {
 		return res, err
 	}
@@ -241,6 +263,47 @@ func RunNemesis(o NemesisOptions) (NemesisResult, error) {
 				// Permanent fail-stops stay deterministic (bounded by the
 				// spare pool); skip schedule-driven ones.
 			}
+		}
+	}
+
+	// Overload windows: a low-priority tenant floods the group while the
+	// deterministic deaths (the composed ServerFailStops) land between
+	// producer versions. Each window runs its own client so overlapping
+	// windows never share a connection; errors are expected — the typed
+	// overload rejections are the admission layer doing its job and are
+	// counted, everything else (dead slots mid-promotion) is ignored.
+	var floodWG sync.WaitGroup
+	var floodPuts, floodSheds, floodSeq atomic.Int64
+	if o.Overload > 0 {
+		sched, err := failure.NemesisOverload(o.Seed, o.Overload, 300*time.Millisecond, 40*time.Millisecond, o.Servers)
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		for _, inj := range sched {
+			inj := inj
+			if inj.Kind != failure.TenantOverload {
+				continue // fail-stops stay deterministic, as above
+			}
+			res.OverloadWindows++
+			floodWG.Add(1)
+			time.AfterFunc(inj.At-time.Since(start), func() {
+				defer floodWG.Done()
+				flood, err := group.NewClient("nemesis/flood")
+				if err != nil {
+					return
+				}
+				defer flood.Close()
+				end := time.Now().Add(inj.Duration)
+				for time.Now().Before(end) {
+					n := floodSeq.Add(1)
+					floodPuts.Add(1)
+					err := flood.Put(fmt.Sprintf("flood/f%d", n), 1, global, nemesisPayload(n, global.Volume()))
+					if _, ok := qos.FromError(err); ok {
+						floodSheds.Add(1)
+					}
+				}
+			})
 		}
 	}
 
@@ -363,6 +426,11 @@ func RunNemesis(o NemesisOptions) (NemesisResult, error) {
 			return res, fmt.Errorf("replay v%d: %w", v, err)
 		}
 	}
+
+	// Drain any overload window still flooding past the data phases.
+	floodWG.Wait()
+	res.FloodPuts = floodPuts.Load()
+	res.FloodSheds = floodSheds.Load()
 
 	// Settle: the lease must converge on exactly one holder — a leader
 	// killed at the tail of a promotion leaves takeover (and the

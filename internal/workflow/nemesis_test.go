@@ -122,6 +122,26 @@ func TestNemesisChaosSoak(t *testing.T) {
 	}
 }
 
+// TestNemesisOverloadSoak composes the deterministic server fail-stop
+// with seeded low-priority tenant flood windows
+// (failure.NemesisOverload): the admission layer must shed the flood
+// with typed rejections while recovery still promotes and the logged
+// data path stays byte-exact.
+func TestNemesisOverloadSoak(t *testing.T) {
+	res, err := RunNemesis(NemesisOptions{Seed: 31, Overload: 6})
+	checkNemesis(t, res, err)
+	checkStrict(t, res)
+	if res.OverloadWindows == 0 {
+		t.Fatalf("schedule armed no overload windows: %+v", res)
+	}
+	if res.FloodPuts == 0 {
+		t.Fatalf("flood tenant never issued a put: %+v", res)
+	}
+	if res.FloodSheds == 0 {
+		t.Fatalf("flood tenant was never shed by admission control: %+v", res)
+	}
+}
+
 // TestWorkflowRedundantSupervisors runs the full workflow (ranks,
 // checkpoints, rank fail-stop, server fail-stop) under three redundant
 // supervisors: exactly one of them must do the promotion.
