@@ -20,10 +20,10 @@ test: build
 # fail-stop recovery stack under the race detector (includes the chaos
 # soak, lifecycle, supervised-recovery, log-replication, multiplexing
 # concurrency, and frame-corruption tests, plus the crash-consistency
-# state machines: wlog, ckpt, pfs — the parallel EC kernel, and the
-# admission-control/QoS layer).
+# state machines: wlog, ckpt, pfs, the cold tier — the parallel EC
+# kernel, and the admission-control/QoS layer).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/... ./internal/qos/...
+	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/... ./internal/tier/... ./internal/qos/...
 
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:
@@ -32,7 +32,9 @@ short:
 # Short nemesis soak under the race detector: seeded supervisor/server
 # kill schedules over the HA-recovery stack (leader killed at every
 # promotion stage, deposed-leader fencing, spare exhaustion, chaos,
-# and the tenant-overload soak composing fail-stops with a shed flood).
+# the tenant-overload soak composing fail-stops with a shed flood, and
+# the storage-fault tier soak tearing, rotting, and ENOSPC-failing the
+# PFS cold tier underneath a spilling, fail-stopping group).
 nemesis:
 	$(GO) test -race -run 'TestNemesis' -count=1 -timeout 10m ./internal/workflow/
 
@@ -40,14 +42,17 @@ bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...
 
 # One-iteration compile-and-run pass over the data-plane benchmarks
-# (including the admission fast path); catches bit-rot without the
-# cost of real measurement.
+# (including the admission fast path, the wlog event/delta paths, and
+# the PFS/cold-tier record paths); catches bit-rot without the cost of
+# real measurement.
 bench-smoke:
-	$(GO) test -bench . -benchtime=1x -run=^$$ ./internal/transport ./internal/ec ./internal/qos
+	$(GO) test -bench . -benchtime=1x -run=^$$ ./internal/transport ./internal/ec ./internal/qos ./internal/wlog ./internal/pfs ./internal/tier
 
 # Full data-plane measurement: serialized seed transport vs the
-# multiplexed fast path, plus the EC encode kernel and the tenant
-# overload/QoS contrast, recorded as JSON.
+# multiplexed fast path, the EC encode kernel and the tenant
+# overload/QoS contrast, and the cold-tier spill/promote/replication
+# readings, recorded as JSON.
 bench-json:
 	$(GO) run ./cmd/wfbench -exp transport -out BENCH_transport.json
 	$(GO) run ./cmd/wfbench -exp overload -out-overload BENCH_overload.json
+	$(GO) run ./cmd/wfbench -exp tier -out BENCH_tier.json

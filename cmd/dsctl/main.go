@@ -23,6 +23,13 @@
 //	qos                     probe each server's admission-control view:
 //	                        per-tenant quota usage, admit/shed counters,
 //	                        lane queue depths, and replication lag
+//	tier                    probe each server's cold-tier view: spilled
+//	                        entries, spill/promote traffic, scrub and
+//	                        degradation state, and the incremental
+//	                        replication (delta vs snapshot) counters
+//	scrub                   trigger a CRC scrub pass over each server's
+//	                        spilled records, healing corrupt generations
+//	                        from their twins and re-arming degraded tiers
 package main
 
 import (
@@ -62,7 +69,7 @@ func main() {
 
 func run(servers, domainStr string, elem, bits int, app string, opts gospaces.DialOptions, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health/leader/qos)")
+		return fmt.Errorf("missing command (put/get/versions/check/restart/stats/health/leader/qos/tier/scrub)")
 	}
 	global, err := parseDomain(domainStr)
 	if err != nil {
@@ -79,6 +86,12 @@ func run(servers, domainStr string, elem, bits int, app string, opts gospaces.Di
 	}
 	if args[0] == "qos" {
 		return qosCmd(addrs, opts)
+	}
+	if args[0] == "tier" {
+		return tierCmd(addrs, opts)
+	}
+	if args[0] == "scrub" {
+		return scrubCmd(addrs, opts)
 	}
 	pool, err := gospaces.ConnectWithOptions(addrs, gospaces.StagingConfig{
 		Global:   global,
@@ -260,6 +273,65 @@ func qosCmd(addrs []string, opts gospaces.DialOptions) error {
 	}
 	if dead > 0 {
 		return fmt.Errorf("%d of %d servers unreachable", dead, len(addrs))
+	}
+	return nil
+}
+
+func tierCmd(addrs []string, opts gospaces.DialOptions) error {
+	dead := 0
+	for _, v := range gospaces.ProbeTier(addrs, opts) {
+		if !v.Alive {
+			dead++
+			fmt.Printf("%-22s DEAD  %s\n", v.Addr, v.Err)
+			continue
+		}
+		if !v.Enabled {
+			fmt.Printf("%-22s id=%d tier disabled\n", v.Addr, v.ID)
+			continue
+		}
+		state := "ok"
+		if v.Degraded {
+			state = "DEGRADED (RAM-only)"
+		}
+		fmt.Printf("%-22s id=%d %s entries=%d bytes=%d\n", v.Addr, v.ID, state, v.Entries, v.Bytes)
+		fmt.Printf("%22s   spills=%d (%d bytes) promotes=%d (%d bytes)\n",
+			"", v.Spills, v.SpillBytes, v.Promotes, v.PromoteBytes)
+		fmt.Printf("%22s   scrub checked=%d healed=%d lost=%d degraded_events=%d\n",
+			"", v.ScrubChecked, v.ScrubHealed, v.ScrubLost, v.DegradedEvents)
+		fmt.Printf("%22s   repl deltas=%d (%d bytes) snapshots=%d (%d bytes)\n",
+			"", v.DeltaResyncs, v.DeltaBytes, v.SnapshotsSent, v.SnapshotBytes)
+	}
+	if dead > 0 {
+		return fmt.Errorf("%d of %d servers unreachable", dead, len(addrs))
+	}
+	return nil
+}
+
+func scrubCmd(addrs []string, opts gospaces.DialOptions) error {
+	dead, lost := 0, int64(0)
+	for _, v := range gospaces.ScrubTier(addrs, opts) {
+		if !v.Alive {
+			dead++
+			fmt.Printf("%-22s DEAD  %s\n", v.Addr, v.Err)
+			continue
+		}
+		if !v.Enabled {
+			fmt.Printf("%-22s id=%d tier disabled\n", v.Addr, v.ID)
+			continue
+		}
+		state := "ok"
+		if v.Degraded {
+			state = "DEGRADED (RAM-only)"
+		}
+		lost += v.Lost
+		fmt.Printf("%-22s id=%d %s checked=%d healed=%d lost=%d\n",
+			v.Addr, v.ID, state, v.Checked, v.Healed, v.Lost)
+	}
+	if dead > 0 {
+		return fmt.Errorf("%d of %d servers unreachable", dead, len(addrs))
+	}
+	if lost > 0 {
+		return fmt.Errorf("scrub lost %d entries to double corruption", lost)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -58,6 +59,8 @@ func TestEndToEndAgainstLiveServers(t *testing.T) {
 		{"trace", "5"},
 		{"stats"},
 		{"health"},
+		{"tier"}, // no tier attached: rows print "tier disabled"
+		{"scrub"},
 	} {
 		if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), cmd); err != nil {
 			t.Fatalf("%v: %v", cmd, err)
@@ -71,6 +74,57 @@ func TestEndToEndAgainstLiveServers(t *testing.T) {
 	}
 	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), []string{"trace", "zz"}); err == nil {
 		t.Fatal("bad trace limit accepted")
+	}
+}
+
+// TestTierCommand drives the tier and scrub probes against a live TCP
+// server with a directory-backed cold tier and a budget tight enough
+// that staged history spills to disk.
+func TestTierCommand(t *testing.T) {
+	const elem, budget = 8, 300_000 // one 32x32x16 version is 131072 bytes
+	srv, err := gospaces.ServeWithOptions("127.0.0.1:0", 0, gospaces.ServeOptions{
+		TierDir:      t.TempDir(),
+		MemoryBudget: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	servers := srv.Addr()
+	opts := gospaces.DefaultDialOptions()
+	for v := 1; v <= 4; v++ {
+		cmd := []string{"put", "f", strconv.Itoa(v)}
+		if err := run(servers, "32x32x16", elem, 2, "dsctl/0", opts, cmd); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+	views := gospaces.ProbeTier([]string{servers}, opts)
+	if !views[0].Alive || !views[0].Enabled {
+		t.Fatalf("tier view = %+v", views[0])
+	}
+	if views[0].Spills == 0 || views[0].Entries == 0 {
+		t.Fatalf("budget pressure spilled nothing: %+v", views[0])
+	}
+	// Scrub while the cold versions are still on disk: a clean tier
+	// CRC-checks every generation and loses nothing.
+	scrubs := gospaces.ScrubTier([]string{servers}, opts)
+	if !scrubs[0].Alive || !scrubs[0].Enabled || scrubs[0].Checked == 0 {
+		t.Fatalf("scrub view = %+v", scrubs[0])
+	}
+	if scrubs[0].Lost != 0 || scrubs[0].Degraded {
+		t.Fatalf("clean tier scrub reported damage: %+v", scrubs[0])
+	}
+	// Spilled versions still read back byte-exact (promote-on-get).
+	for v := 1; v <= 4; v++ {
+		cmd := []string{"get", "f", strconv.Itoa(v)}
+		if err := run(servers, "32x32x16", elem, 2, "dsctl/0", opts, cmd); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+	for _, cmd := range [][]string{{"tier"}, {"scrub"}} {
+		if err := run(servers, "32x32x16", elem, 2, "dsctl/0", opts, cmd); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
 	}
 }
 

@@ -30,11 +30,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, overload, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, overload, tier, all")
 	seeds := flag.Int("seeds", 5, "number of failure-schedule seeds for the simulated experiments")
 	steps := flag.Int64("steps", 20, "coupling cycles for the live staging measurements")
 	reps := flag.Int("reps", 5, "repetitions (median) for the live staging measurements")
-	out := flag.String("out", "BENCH_transport.json", "output file for the transport experiment's JSON measurements")
+	out := flag.String("out", "", "output file for the transport/tier experiment's JSON measurements (default BENCH_<exp>.json)")
 	outOverload := flag.String("out-overload", "BENCH_overload.json", "output file for the overload experiment's JSON measurements")
 	flag.Parse()
 
@@ -97,9 +97,11 @@ func main() {
 		case "nemesis":
 			return nemesisExp()
 		case "transport":
-			return transportExp(*out)
+			return transportExp(orDefault(*out, "BENCH_transport.json"))
 		case "overload":
 			return overloadExp(*outOverload)
+		case "tier":
+			return tierExp(orDefault(*out, "BENCH_tier.json"))
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -118,6 +120,14 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// orDefault substitutes def for an unset output-path flag.
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
 }
 
 // motivation runs the paper's Figure 2 scenario live — one consumer

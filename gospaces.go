@@ -40,9 +40,11 @@ import (
 	"gospaces/internal/domain"
 	"gospaces/internal/expt"
 	"gospaces/internal/health"
+	"gospaces/internal/pfs"
 	"gospaces/internal/qos"
 	"gospaces/internal/staging"
 	"gospaces/internal/synth"
+	"gospaces/internal/tier"
 	"gospaces/internal/transport"
 	"gospaces/internal/workflow"
 )
@@ -178,6 +180,20 @@ type ServeOptions struct {
 	// priority-ordered load shedding with typed retry-after rejections,
 	// and the foreground/recovery priority lanes. nil disables it.
 	QoS *QoSConfig
+	// TierDir, when non-empty, attaches a PFS cold tier backed by that
+	// directory: logged versions colder than the newest demote to it at
+	// the spill watermark (crash-atomically, in CRC'd twin-generation
+	// records) instead of shedding the put, and replay reads promote
+	// them back transparently.
+	TierDir string
+	// TierWatermark is the fraction of the memory budget above which
+	// puts demote cold versions (<= 0: the QoS SpillWater when QoS is
+	// on, else the package default).
+	TierWatermark float64
+	// MemoryBudget caps the server's resident object bytes (0 =
+	// unlimited). The cold tier needs a budget to have a watermark to
+	// spill against.
+	MemoryBudget int64
 }
 
 // Serve starts staging server id listening on addr (host:port; use
@@ -199,6 +215,16 @@ func ServeWithOptions(addr string, id int, opts ServeOptions) (*StagingServer, e
 	srv.SetSpare(opts.Spare)
 	if opts.QoS != nil {
 		srv.EnableQoS(*opts.QoS)
+	}
+	if opts.MemoryBudget > 0 {
+		srv.SetMemoryBudget(opts.MemoryBudget)
+	}
+	if opts.TierDir != "" {
+		be, err := pfs.NewDirStore(opts.TierDir)
+		if err != nil {
+			return nil, fmt.Errorf("gospaces: tier dir: %w", err)
+		}
+		srv.EnableTier(be, opts.TierWatermark)
 	}
 	closer, err := tr.Listen(addr, srv.Handle)
 	if err != nil {
@@ -604,6 +630,166 @@ func qosOne(tr transport.Transport, addr string) QoSView {
 	v.QueueForeground = resp.QueueForeground
 	v.QueueRecovery = resp.QueueRecovery
 	v.ReplLag = resp.ReplLag
+	return v
+}
+
+// ---------------------------------------------------------------------
+// Cold tier (dsctl tier wraps ProbeTier).
+
+// ErrTierDegraded reports a cold tier that has fallen back to RAM-only
+// operation after a backend fault; errors.Is(err, ErrTierDegraded)
+// distinguishes tier degradation from other staging errors. A
+// successful scrub pass re-arms the tier.
+var ErrTierDegraded error = tier.ErrTierDegraded
+
+// TierView is one staging server's cold-tier accounting as seen by a
+// probe: spill/promote traffic, scrub results, degradation, and the
+// incremental event-log replication counters (delta re-syncs served
+// from the retained window vs full snapshot fallbacks).
+type TierView struct {
+	// Addr is the probed address.
+	Addr string
+	// Alive is true when the server answered; Err holds the failure
+	// otherwise.
+	Alive bool
+	// Enabled is true when a cold tier is attached.
+	Enabled bool
+	// ID is the server's id within its group.
+	ID int
+	// Degraded is true while the tier runs RAM-only after a backend
+	// fault (a scrub pass re-arms it).
+	Degraded bool
+	// Entries and Bytes are the spilled records resident in the tier.
+	Entries int
+	Bytes   int64
+	// Spill/promote traffic (cumulative).
+	Spills, SpillBytes, Promotes, PromoteBytes int64
+	// Scrub accounting: records CRC-checked, healed from the twin
+	// generation, and lost to double corruption; DegradedEvents counts
+	// RAM-only fallbacks.
+	ScrubChecked, ScrubHealed, ScrubLost, DegradedEvents int64
+	// Incremental wlog replication: delta re-syncs served from the
+	// retained window vs full snapshots, with shipped bytes for each.
+	DeltaResyncs, DeltaBytes, SnapshotsSent, SnapshotBytes int64
+	// Err describes the probe failure when Alive is false.
+	Err string
+}
+
+// ProbeTier asks each address for its cold-tier view: spill/promote
+// accounting, scrub results, degradation state, and incremental
+// replication counters. Dead servers are reported with Alive=false
+// rather than failing the probe. dsctl tier wraps this.
+func ProbeTier(addrs []string, opts DialOptions) []TierView {
+	tr := transport.NewTCPTimeout(opts.CallTimeout, opts.DialTimeout)
+	out := make([]TierView, len(addrs))
+	for i, addr := range addrs {
+		out[i] = tierOne(tr, addr)
+	}
+	return out
+}
+
+func tierOne(tr transport.Transport, addr string) TierView {
+	v := TierView{Addr: addr}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	defer conn.Close()
+	raw, err := conn.Call(staging.TierStatsReq{})
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	resp, ok := raw.(staging.TierStatsResp)
+	if !ok {
+		v.Err = fmt.Sprintf("unexpected tier-stats response %T", raw)
+		return v
+	}
+	v.Alive = true
+	v.Enabled = resp.Enabled
+	v.ID = resp.ID
+	v.Degraded = resp.Degraded
+	v.Entries = resp.Entries
+	v.Bytes = resp.Bytes
+	v.Spills = resp.Spills
+	v.SpillBytes = resp.SpillBytes
+	v.Promotes = resp.Promotes
+	v.PromoteBytes = resp.PromoteBytes
+	v.ScrubChecked = resp.ScrubChecked
+	v.ScrubHealed = resp.ScrubHealed
+	v.ScrubLost = resp.ScrubLost
+	v.DegradedEvents = resp.DegradedEvents
+	v.DeltaResyncs = resp.DeltaResyncs
+	v.DeltaBytes = resp.DeltaBytes
+	v.SnapshotsSent = resp.SnapshotsSent
+	v.SnapshotBytes = resp.SnapshotBytes
+	return v
+}
+
+// ScrubView is the result of one server's triggered scrub pass.
+type ScrubView struct {
+	// Addr is the probed address.
+	Addr string
+	// Alive is true when the server answered; Err holds the failure
+	// otherwise.
+	Alive bool
+	// Enabled is true when a cold tier is attached.
+	Enabled bool
+	// ID is the server's id within its group.
+	ID int
+	// Checked, Healed, Lost count the records CRC-verified by this
+	// pass, those re-replicated from their surviving twin generation,
+	// and those lost to double corruption (detected, dropped, counted —
+	// never silently returned).
+	Checked, Healed, Lost int64
+	// Degraded is true when the tier is still RAM-only after the pass
+	// (the degradation probe write also failed).
+	Degraded bool
+	// Err describes the probe failure when Alive is false.
+	Err string
+}
+
+// ScrubTier triggers a CRC scrub pass over each server's spilled
+// records: every record generation is re-read and CRC-verified, corrupt
+// generations are re-replicated from their intact twins, and a degraded
+// tier that passes its probe write is re-armed. Dead servers are
+// reported with Alive=false rather than failing the probe. dsctl scrub
+// wraps this.
+func ScrubTier(addrs []string, opts DialOptions) []ScrubView {
+	tr := transport.NewTCPTimeout(opts.CallTimeout, opts.DialTimeout)
+	out := make([]ScrubView, len(addrs))
+	for i, addr := range addrs {
+		out[i] = scrubOne(tr, addr)
+	}
+	return out
+}
+
+func scrubOne(tr transport.Transport, addr string) ScrubView {
+	v := ScrubView{Addr: addr}
+	conn, err := tr.Dial(addr)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	defer conn.Close()
+	raw, err := conn.Call(staging.TierScrubReq{})
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	resp, ok := raw.(staging.TierScrubResp)
+	if !ok {
+		v.Err = fmt.Sprintf("unexpected tier-scrub response %T", raw)
+		return v
+	}
+	v.Alive = true
+	v.Enabled = resp.Enabled
+	v.ID = resp.ID
+	v.Checked = resp.Checked
+	v.Healed = resp.Healed
+	v.Lost = resp.Lost
+	v.Degraded = resp.Degraded
 	return v
 }
 

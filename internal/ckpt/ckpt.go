@@ -86,10 +86,12 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 const recMagic = "CKP1"
 
-// sealRecord frames a checkpoint payload: magic, sequence number,
-// payload length, CRC32-C over header+payload, payload. Any truncation
-// or bit flip fails verification in openRecord.
-func sealRecord(seq uint64, payload []byte) []byte {
+// SealRecord frames a checkpoint or spill payload: magic, sequence
+// number, payload length, CRC32-C over header+payload, payload. Any
+// truncation or bit flip fails verification in OpenRecord. The tier
+// layer (internal/tier) reuses this exact framing for spilled object
+// records, so one codec — and one fuzz corpus — covers both.
+func SealRecord(seq uint64, payload []byte) []byte {
 	rec := make([]byte, 0, 24+len(payload))
 	rec = append(rec, recMagic...)
 	var hdr [16]byte
@@ -104,8 +106,8 @@ func sealRecord(seq uint64, payload []byte) []byte {
 	return append(rec, payload...)
 }
 
-// openRecord verifies and unframes one generation record.
-func openRecord(rec []byte) (seq uint64, payload []byte, ok bool) {
+// OpenRecord verifies and unframes one generation record.
+func OpenRecord(rec []byte) (seq uint64, payload []byte, ok bool) {
 	if len(rec) < 24 || string(rec[:4]) != recMagic {
 		return 0, nil, false
 	}
@@ -132,7 +134,7 @@ func (s *Saver) gens(base string) (seqs [2]uint64, payloads [2][]byte, valid [2]
 			continue
 		}
 		present = true
-		seqs[g], payloads[g], valid[g] = openRecord(rec)
+		seqs[g], payloads[g], valid[g] = OpenRecord(rec)
 	}
 	return
 }
@@ -172,8 +174,12 @@ func (s *Saver) Save(component string, rank int, state any) error {
 			seq = seqs[g] + 1
 		}
 	}
-	s.store.Write(genKey(base, target), sealRecord(seq, buf.Bytes()))
-	s.store.Write(curKey(base), []byte{byte(target)})
+	if err := s.store.Write(genKey(base, target), SealRecord(seq, buf.Bytes())); err != nil {
+		return fmt.Errorf("ckpt: write %s/%d: %w", component, rank, err)
+	}
+	if err := s.store.Write(curKey(base), []byte{byte(target)}); err != nil {
+		return fmt.Errorf("ckpt: commit %s/%d: %w", component, rank, err)
+	}
 	return nil
 }
 

@@ -163,33 +163,68 @@ func TestMultiLevelValidation(t *testing.T) {
 
 // TestLoadFallsBackOnTornWrite: a writer dying mid-checkpoint truncates
 // the in-flight generation; Load must verify the CRC, reject the torn
-// record, and restore the previous committed checkpoint.
+// record, and restore the previous committed checkpoint. The partial
+// cases tear the record at arbitrary byte offsets — inside the magic,
+// the header, the CRC, and the payload — not just the halfway cut.
 func TestLoadFallsBackOnTornWrite(t *testing.T) {
-	for _, fault := range []pfs.WriteFault{pfs.FaultTruncate, pfs.FaultBitFlip} {
+	cases := []struct {
+		name string
+		arm  func(store *pfs.Store)
+	}{
+		{"truncate", func(st *pfs.Store) { st.FailNextWrite(pfs.FaultTruncate) }},
+		{"bitflip", func(st *pfs.Store) { st.FailNextWrite(pfs.FaultBitFlip) }},
+		{"partial@0", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultPartial, 0) }},
+		{"partial@2", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultPartial, 2) }},   // mid-magic
+		{"partial@11", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultPartial, 11) }}, // mid-header
+		{"partial@22", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultPartial, 22) }}, // mid-CRC
+		{"partial@30", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultPartial, 30) }}, // mid-payload
+		{"bitflip@5", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultBitFlip, 5) }},   // header seq
+		{"bitflip@21", func(st *pfs.Store) { st.FailNextWriteAt(pfs.FaultBitFlip, 21) }}, // CRC itself
+	}
+	for _, tc := range cases {
 		store := pfs.NewStore()
 		s := NewSaver(store)
 		if err := s.Save("sim", 0, rankState{LastTS: 4}); err != nil {
 			t.Fatal(err)
 		}
-		store.FailNextWrite(fault)
+		tc.arm(store)
 		if err := s.Save("sim", 0, rankState{LastTS: 8}); err != nil {
 			t.Fatal(err)
 		}
 		var out rankState
 		ok, err := s.Load("sim", 0, &out)
 		if err != nil || !ok {
-			t.Fatalf("fault %d: load after torn write: %v %v", fault, ok, err)
+			t.Fatalf("%s: load after torn write: %v %v", tc.name, ok, err)
 		}
 		if out.LastTS != 4 {
-			t.Fatalf("fault %d: LastTS = %d, want the surviving checkpoint 4", fault, out.LastTS)
+			t.Fatalf("%s: LastTS = %d, want the surviving checkpoint 4", tc.name, out.LastTS)
 		}
 		// The next save lands cleanly and replaces the damaged record.
 		if err := s.Save("sim", 0, rankState{LastTS: 12}); err != nil {
 			t.Fatal(err)
 		}
 		if _, err := s.Load("sim", 0, &out); err != nil || out.LastTS != 12 {
-			t.Fatalf("fault %d: post-repair load = %+v, %v", fault, out, err)
+			t.Fatalf("%s: post-repair load = %+v, %v", tc.name, out, err)
 		}
+	}
+}
+
+// TestSaveSurvivesENOSPC: a full PFS fails the save with an error, and
+// the previously committed checkpoint remains loadable.
+func TestSaveSurvivesENOSPC(t *testing.T) {
+	store := pfs.NewStore()
+	s := NewSaver(store)
+	if err := s.Save("sim", 0, rankState{LastTS: 4}); err != nil {
+		t.Fatal(err)
+	}
+	store.FailNextWrite(pfs.FaultENOSPC)
+	if err := s.Save("sim", 0, rankState{LastTS: 8}); err == nil {
+		t.Fatal("ENOSPC save reported success")
+	}
+	var out rankState
+	ok, err := s.Load("sim", 0, &out)
+	if err != nil || !ok || out.LastTS != 4 {
+		t.Fatalf("load after ENOSPC = %v %v %+v", ok, err, out)
 	}
 }
 

@@ -47,6 +47,22 @@ const (
 	// control layer (internal/qos) while real faults are in flight; the
 	// chaos transport ignores it.
 	TenantOverload
+	// The PFS* kinds target the cold-tier backend (internal/pfs) of one
+	// staging server rather than the network: the nemesis harness arms
+	// them on the server's tier store (FailNextWriteAt, Corrupt,
+	// SetCapacity, SetSlowIO); the chaos transport ignores them.
+
+	// PFSTornWrite truncates the next tier write mid-record.
+	PFSTornWrite
+	// PFSPartialWrite cuts the next tier write at a random byte offset.
+	PFSPartialWrite
+	// PFSBitRot flips one bit of a spilled record at rest.
+	PFSBitRot
+	// PFSENOSPC makes the next tier write fail with no space; the tier
+	// must degrade to RAM-only mode instead of losing data.
+	PFSENOSPC
+	// PFSSlowIO adds latency to every tier read/write for Duration.
+	PFSSlowIO
 )
 
 // String renders the kind for traces and logs.
@@ -66,6 +82,16 @@ func (k Kind) String() string {
 		return "supervisor-kill"
 	case TenantOverload:
 		return "tenant-overload"
+	case PFSTornWrite:
+		return "pfs-torn-write"
+	case PFSPartialWrite:
+		return "pfs-partial-write"
+	case PFSBitRot:
+		return "pfs-bit-rot"
+	case PFSENOSPC:
+		return "pfs-enospc"
+	case PFSSlowIO:
+		return "pfs-slow-io"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -82,10 +108,14 @@ type Injection struct {
 	Rank int
 	// Server is the target staging server id (ServerCrash/Net*).
 	Server int
-	// Duration is the fault window length (ServerCrash/Net*);
+	// Duration is the fault window length (ServerCrash/Net*/PFSSlowIO);
 	// fail-stops — rank or server — are instantaneous and carry zero
 	// duration (a ServerFailStop never recovers).
 	Duration time.Duration
+	// Offset is the byte offset a PFS torn/partial write or bit flip
+	// lands at; negative means "let the store pick" (halfway through the
+	// record). Only the PFS* kinds use it.
+	Offset int
 }
 
 // Schedule is a time-ordered list of injections.
@@ -256,6 +286,53 @@ func NemesisOverload(seed int64, n int, horizon, meanFault time.Duration, nServe
 			dur := meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
 			sched = append(sched, Injection{At: at, Kind: TenantOverload, Duration: dur})
 		}
+	}
+	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+// NemesisTier draws the storage-fault soak schedule: n faults uniformly
+// over (0, horizon) mixing permanent staging-server fail-stops, tenant
+// overload windows, and PFS storage faults against the servers' cold
+// tiers — torn and partial writes at random byte offsets, at-rest bit
+// rot, ENOSPC, and slow-I/O windows of mean length meanFault. It is the
+// generator behind TestNemesisTierSoak: promotions must complete and
+// replay must stay byte-exact while spilled records are being corrupted
+// underneath the staging servers. Deterministic for a given seed.
+func NemesisTier(seed int64, n int, horizon, meanFault time.Duration, nServers int) (Schedule, error) {
+	if horizon <= time.Nanosecond {
+		return nil, fmt.Errorf("failure: horizon %v too short", horizon)
+	}
+	if meanFault <= 0 {
+		return nil, fmt.Errorf("failure: non-positive mean fault duration %v", meanFault)
+	}
+	if nServers <= 0 {
+		return nil, fmt.Errorf("failure: non-positive server count %d", nServers)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	storage := []Kind{PFSTornWrite, PFSPartialWrite, PFSBitRot, PFSENOSPC, PFSSlowIO}
+	sched := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Int63n(int64(horizon)-1)) + 1
+		inj := Injection{At: at, Server: rng.Intn(nServers)}
+		switch rng.Intn(4) {
+		case 0:
+			inj.Kind = ServerFailStop
+		case 1:
+			inj.Kind = TenantOverload
+			inj.Duration = meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+		default: // storage faults at double weight: they are the soak's point
+			inj.Kind = storage[rng.Intn(len(storage))]
+			switch inj.Kind {
+			case PFSSlowIO:
+				inj.Duration = meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+			case PFSTornWrite, PFSPartialWrite, PFSBitRot:
+				// Offsets land anywhere in a small record, including the
+				// 24-byte CRC'd header; the store clamps overshoots.
+				inj.Offset = rng.Intn(256) - 1 // -1 = store picks halfway
+			}
+		}
+		sched = append(sched, inj)
 	}
 	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
 	return sched, nil

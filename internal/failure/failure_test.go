@@ -110,6 +110,13 @@ func TestKindString(t *testing.T) {
 		{NetDelay, "net-delay"},
 		{NetDrop, "net-drop"},
 		{ServerFailStop, "server-fail-stop"},
+		{SupervisorKill, "supervisor-kill"},
+		{TenantOverload, "tenant-overload"},
+		{PFSTornWrite, "pfs-torn-write"},
+		{PFSPartialWrite, "pfs-partial-write"},
+		{PFSBitRot, "pfs-bit-rot"},
+		{PFSENOSPC, "pfs-enospc"},
+		{PFSSlowIO, "pfs-slow-io"},
 		{Kind(99), "kind(99)"},
 	}
 	for _, c := range cases {
@@ -142,6 +149,51 @@ func TestChaosEmitsServerFailStop(t *testing.T) {
 	}
 	if failStops == 0 {
 		t.Fatal("40 draws over 2 kinds produced no fail-stops")
+	}
+}
+
+func TestNemesisTierSchedule(t *testing.T) {
+	a, err := NemesisTier(11, 60, time.Hour, time.Minute, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NemesisTier(11, 60, time.Hour, time.Minute, 4)
+	if len(a) != 60 || len(b) != 60 {
+		t.Fatalf("schedule lengths %d/%d", len(a), len(b))
+	}
+	counts := map[Kind]int{}
+	for i, inj := range a {
+		if inj != b[i] {
+			t.Fatalf("same seed diverged at %d: %+v vs %+v", i, inj, b[i])
+		}
+		if i > 0 && inj.At < a[i-1].At {
+			t.Fatalf("unsorted at %d", i)
+		}
+		if inj.At <= 0 || inj.At >= time.Hour {
+			t.Fatalf("injection %d outside horizon: %v", i, inj.At)
+		}
+		counts[inj.Kind]++
+		switch inj.Kind {
+		case PFSTornWrite, PFSPartialWrite, PFSBitRot:
+			if inj.Offset < -1 || inj.Offset > 255 {
+				t.Fatalf("offset %d out of range", inj.Offset)
+			}
+		case PFSSlowIO, TenantOverload:
+			if inj.Duration <= 0 {
+				t.Fatalf("%v with non-positive duration", inj.Kind)
+			}
+		case ServerFailStop, PFSENOSPC:
+			if inj.Duration != 0 {
+				t.Fatalf("%v with recovery horizon %v", inj.Kind, inj.Duration)
+			}
+		default:
+			t.Fatalf("unexpected kind %v", inj.Kind)
+		}
+	}
+	for _, k := range []Kind{ServerFailStop, TenantOverload, PFSTornWrite, PFSBitRot, PFSENOSPC} {
+		if counts[k] == 0 {
+			t.Fatalf("60 draws produced no %v", k)
+		}
 	}
 }
 

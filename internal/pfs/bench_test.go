@@ -1,0 +1,71 @@
+package pfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The store benchmarks size the raw PFS record path the cold tier sits
+// on: how fast spilled records land (Write) and come back (Read), for
+// the in-memory fault-injection store and the directory-backed store
+// deployments use.
+
+func BenchmarkMemWrite64K(b *testing.B) {
+	s := NewStore()
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(fmt.Sprintf("rec/%d", i%128), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemRead64K(b *testing.B) {
+	s := NewStore()
+	buf := make([]byte, 64<<10)
+	if err := s.Write("rec", buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Read("rec"); !ok {
+			b.Fatal("record vanished")
+		}
+	}
+}
+
+func BenchmarkDirWrite64K(b *testing.B) {
+	s, err := NewDirStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Write(fmt.Sprintf("rec/%d", i%128), buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirRead64K(b *testing.B) {
+	s, err := NewDirStore(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, 64<<10)
+	if err := s.Write("rec", buf); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(buf)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := s.Read("rec"); !ok {
+			b.Fatal("record vanished")
+		}
+	}
+}

@@ -130,3 +130,166 @@ func TestSimPFSValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestStorePartialWriteAtOffset(t *testing.T) {
+	s := NewStore()
+	payload := []byte("0123456789")
+	for _, off := range []int{0, 1, 3, 9} {
+		s.FailNextWriteAt(FaultPartial, off)
+		if err := s.Write("k", payload); err != nil {
+			t.Fatalf("off %d: %v", off, err)
+		}
+		got, ok := s.Read("k")
+		if !ok || len(got) != off {
+			t.Fatalf("off %d: stored %d bytes", off, len(got))
+		}
+		if !bytes.Equal(got, payload[:off]) {
+			t.Fatalf("off %d: prefix mismatch %q", off, got)
+		}
+	}
+	// The fault is one-shot: the next write is intact.
+	if err := s.Write("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Read("k"); len(got) != len(payload) {
+		t.Fatalf("fault not disarmed: %d bytes", len(got))
+	}
+}
+
+func TestStoreBitFlipAtOffset(t *testing.T) {
+	s := NewStore()
+	payload := []byte{1, 2, 3, 4}
+	s.FailNextWriteAt(FaultBitFlip, 3)
+	s.Write("k", payload)
+	got, _ := s.Read("k")
+	if got[3] == payload[3] || got[0] != payload[0] {
+		t.Fatalf("flip at 3: got %v", got)
+	}
+}
+
+func TestStoreENOSPCFault(t *testing.T) {
+	s := NewStore()
+	s.Write("k", []byte{1, 2})
+	s.FailNextWrite(FaultENOSPC)
+	if err := s.Write("k", []byte{9, 9, 9}); err != ErrNoSpace {
+		t.Fatalf("err = %v", err)
+	}
+	// The previous object survives a failed write.
+	got, ok := s.Read("k")
+	if !ok || !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("old object lost: %v %v", got, ok)
+	}
+	if err := s.Write("k", []byte{9}); err != nil {
+		t.Fatalf("fault not one-shot: %v", err)
+	}
+}
+
+func TestStoreCapacity(t *testing.T) {
+	s := NewStore()
+	s.SetCapacity(10)
+	if err := s.Write("a", make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write("b", make([]byte, 4)); err != ErrNoSpace {
+		t.Fatalf("over-capacity write: %v", err)
+	}
+	// Replacing an object charges only the delta.
+	if err := s.Write("a", make([]byte, 10)); err != nil {
+		t.Fatalf("replace within capacity: %v", err)
+	}
+	s.SetCapacity(0)
+	if err := s.Write("b", make([]byte, 1<<10)); err != nil {
+		t.Fatalf("unlimited: %v", err)
+	}
+}
+
+func TestStoreRenameAndList(t *testing.T) {
+	s := NewStore()
+	s.Write("t/m.tmp", []byte{1})
+	s.Write("t/other", []byte{2})
+	if err := s.Rename("t/m.tmp", "t/m"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Read("t/m.tmp"); ok {
+		t.Fatal("old name survives rename")
+	}
+	got, ok := s.Read("t/m")
+	if !ok || got[0] != 1 {
+		t.Fatalf("renamed object: %v %v", got, ok)
+	}
+	names := s.List("t/")
+	if len(names) != 2 || names[0] != "t/m" || names[1] != "t/other" {
+		t.Fatalf("list = %v", names)
+	}
+	if err := s.Rename("missing", "x"); err == nil {
+		t.Fatal("rename of missing object succeeded")
+	}
+	// Rename over an existing object keeps byte accounting exact.
+	s.Write("t/dst", []byte{1, 2, 3})
+	before := s.Bytes()
+	s.Write("t/src", []byte{9})
+	if err := s.Rename("t/src", "t/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != before-3+1 {
+		t.Fatalf("bytes after clobbering rename = %d", s.Bytes())
+	}
+}
+
+func TestStoreCorrupt(t *testing.T) {
+	s := NewStore()
+	s.Write("k", []byte{1, 2, 3, 4})
+	if !s.Corrupt("k", 2) {
+		t.Fatal("corrupt reported no damage")
+	}
+	got, _ := s.Read("k")
+	if got[2] == 3 {
+		t.Fatal("payload not corrupted")
+	}
+	if s.Corrupt("missing", 0) {
+		t.Fatal("corrupted a phantom")
+	}
+}
+
+func TestStoreSlowIO(t *testing.T) {
+	s := NewStore()
+	s.SetSlowIO(20 * time.Millisecond)
+	start := time.Now()
+	s.Write("k", []byte{1})
+	s.Read("k")
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("slow I/O not applied: %v", d)
+	}
+	s.SetSlowIO(0)
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	d, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("tier/0/o/1/g0", []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Write("tier/0/manifest.tmp", []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Rename("tier/0/manifest.tmp", "tier/0/manifest"); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Read("tier/0/o/1/g0")
+	if !ok || !bytes.Equal(got, []byte{1, 2}) {
+		t.Fatalf("read = %v %v", got, ok)
+	}
+	names := d.List("tier/0/")
+	if len(names) != 2 || names[0] != "tier/0/manifest" {
+		t.Fatalf("list = %v", names)
+	}
+	d.Delete("tier/0/o/1/g0")
+	if _, ok := d.Read("tier/0/o/1/g0"); ok {
+		t.Fatal("delete left object behind")
+	}
+	if _, err := NewDirStore(""); err == nil {
+		t.Fatal("empty dir accepted")
+	}
+}

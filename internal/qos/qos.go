@@ -88,6 +88,12 @@ type Config struct {
 	// linearly with priority until the full budget, which nobody may
 	// exceed. Recovery and wlog-replication traffic is never shed.
 	HighWater float64
+	// SpillWater is the fraction of the budget at which the staging
+	// server starts demoting cold versions to its PFS tier, when one is
+	// enabled. It defaults to 85% of HighWater so spill runs strictly
+	// before the shed rule fires: reclaimable-by-demotion bytes never
+	// cause a rejection, mirroring the GC-before-shed policy.
+	SpillWater float64
 	// RetryAfterBase scales the server-computed retry-after hint
 	// (default 25ms); RetryAfterMax caps it (default 2s).
 	RetryAfterBase time.Duration
@@ -106,6 +112,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.HighWater <= 0 || c.HighWater >= 1 {
 		c.HighWater = 0.7
+	}
+	if c.SpillWater <= 0 || c.SpillWater >= 1 {
+		c.SpillWater = 0.85 * c.HighWater
 	}
 	if c.RetryAfterBase <= 0 {
 		c.RetryAfterBase = 25 * time.Millisecond

@@ -962,7 +962,29 @@ func (s *Supervisor) restoreLog(deadSlot int, spareAddr string, token uint64) bo
 	s.reg.Counter("recovery.log_records").Add(best.Seq)
 	s.reg.Counter("recovery.log_bytes").Add(restored)
 	s.reg.Counter("recovery.log_lag").Add(maxSeq - minSeq)
+	s.scrubTier(spareAddr, token)
 	return true
+}
+
+// scrubTier fires a best-effort CRC scrub over the promoted spare's
+// cold tier right after the log restore: a promotion is exactly when
+// spilled records written before the fault must be proven readable, and
+// the scrub re-replicates any generation the storage layer corrupted
+// while the slot was dark. Failures are counted, never fatal — the
+// promotion already holds the restored state in RAM.
+func (s *Supervisor) scrubTier(spareAddr string, token uint64) {
+	raw, err := s.fencedCall(spareAddr, token, staging.TierScrubReq{})
+	if err != nil {
+		s.reg.Counter("recovery.tier_scrub_errors").Inc()
+		return
+	}
+	resp, ok := raw.(staging.TierScrubResp)
+	if !ok || !resp.Enabled {
+		return
+	}
+	s.reg.Counter("recovery.tier_scrubs").Inc()
+	s.reg.Counter("recovery.tier_scrub_healed").Add(resp.Healed)
+	s.reg.Counter("recovery.tier_scrub_lost").Add(resp.Lost)
 }
 
 // pushView installs the new membership on every member, including the

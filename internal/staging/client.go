@@ -9,6 +9,7 @@ import (
 	"gospaces/internal/dht"
 	"gospaces/internal/domain"
 	"gospaces/internal/qos"
+	"gospaces/internal/tier"
 	"gospaces/internal/transport"
 )
 
@@ -77,6 +78,15 @@ type Config struct {
 	// weighted two-lane scheduler on every server (and spare) of the
 	// group. nil (the default) serves all traffic unconditionally.
 	QoS *qos.Config
+	// TierBackend, when non-nil, gives each server (and spare) a PFS
+	// cold-tier backend keyed by server id: cold logged versions demote
+	// to it at the spill watermark instead of shedding, and replay reads
+	// promote them back transparently. nil disables the tier.
+	TierBackend func(id int) tier.Backend
+	// TierWatermark is the fraction of the memory budget above which
+	// puts demote cold versions (<= 0 picks the QoS SpillWater, else the
+	// package default).
+	TierWatermark float64
 }
 
 // Pool is a client-side view of a staging group: the spatial index plus

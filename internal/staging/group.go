@@ -53,6 +53,9 @@ func StartGroup(tr transport.Transport, prefix string, cfg Config) (*Group, erro
 		if cfg.QoS != nil {
 			srv.EnableQoS(*cfg.QoS)
 		}
+		if cfg.TierBackend != nil {
+			srv.EnableTier(cfg.TierBackend(i), cfg.TierWatermark)
+		}
 		// A prefix containing ":" is a TCP host:port (use ":0" for
 		// ephemeral ports); otherwise addresses are "<prefix>/<id>".
 		addr := fmt.Sprintf("%s/%d", prefix, i)
@@ -112,6 +115,11 @@ func (g *Group) AddSpare() (string, error) {
 		// per-tenant usage is inherited at promotion when the wlog
 		// restore rebases the accounting from the restored content.
 		srv.EnableQoS(*g.Pool.cfg.QoS)
+	}
+	if g.Pool.cfg.TierBackend != nil {
+		// The spare gets its own tier store; a promotion resets it before
+		// the wlog restore repopulates staging RAM.
+		srv.EnableTier(g.Pool.cfg.TierBackend(id), g.Pool.cfg.TierWatermark)
 	}
 	addr := fmt.Sprintf("%s/spare/%d", g.prefix, n)
 	if strings.Contains(g.prefix, ":") {

@@ -496,7 +496,58 @@ type QosStatsResp struct {
 	ReplLag         int64
 }
 
+// TierStatsReq asks a server for its cold-tier accounting (dsctl tier
+// surfaces it).
+type TierStatsReq struct{}
+
+// TierStatsResp reports a server's cold-tier state: spill/promote
+// counters, scrub results, degradation, and the incremental
+// replication byte split. Enabled is false when no tier is attached.
+type TierStatsResp struct {
+	Enabled  bool
+	ID       int
+	Degraded bool
+	// Entries/Bytes are the spilled records resident in the tier.
+	Entries      int
+	Bytes        int64
+	Spills       int64
+	SpillBytes   int64
+	Promotes     int64
+	PromoteBytes int64
+	// Scrub counters (cumulative across scrub passes and promotes).
+	ScrubChecked   int64
+	ScrubHealed    int64
+	ScrubLost      int64
+	DegradedEvents int64
+	// Incremental wlog replication: delta re-syncs served from the
+	// retained window vs full snapshots (anchors), with shipped bytes.
+	DeltaResyncs  int64
+	DeltaBytes    int64
+	SnapshotsSent int64
+	SnapshotBytes int64
+}
+
+// TierScrubReq triggers a CRC scrub pass over the server's spilled
+// records: corrupt generations are re-replicated from the surviving
+// twin, unrecoverable entries dropped. The recovery supervisor fires
+// one after every promotion restore.
+type TierScrubReq struct{}
+
+// TierScrubResp reports one scrub pass.
+type TierScrubResp struct {
+	Enabled  bool
+	ID       int
+	Checked  int64
+	Healed   int64
+	Lost     int64
+	Degraded bool
+}
+
 func init() {
+	gob.Register(TierStatsReq{})
+	gob.Register(TierStatsResp{})
+	gob.Register(TierScrubReq{})
+	gob.Register(TierScrubResp{})
 	gob.Register(PutReq{})
 	gob.Register(PutResp{})
 	gob.Register(GetReq{})

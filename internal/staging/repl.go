@@ -157,10 +157,16 @@ func (m *lockMirror) importState(st LockMirrorState) {
 // peerConn is the origin's cached link to one replica peer.
 type peerConn struct {
 	conn transport.Client
-	// needSnap is set after any failed call to this peer: the next ship
-	// first re-syncs the peer with a full snapshot.
+	// needSnap is set on a fresh dial and after any failed call to this
+	// peer: the next ship first probes the peer's stream position and
+	// re-syncs it — with a delta from the retained window when the peer
+	// is within it, else with a full snapshot (the freshest anchor).
 	needSnap bool
 }
+
+// replWindowBytes is the default retained-window size for delta
+// re-sync (see replicator.window).
+const replWindowBytes = 4 << 20
 
 // replicator is the origin side of log replication for one server: a
 // sequenced queue of ReplRecords plus a background sender that ships
@@ -182,20 +188,115 @@ type replicator struct {
 	mirror  *lockMirror
 	closed  bool
 
+	// Incremental re-sync state: window retains the most recently
+	// shipped records, covering (anchorSeq, shipped]. A peer that fell
+	// behind but is still within the window is healed by re-shipping
+	// only the records it misses (a delta); a peer behind anchorSeq
+	// gets a full snapshot — the freshest anchor. When window bytes
+	// exceed maxWindow the covered prefix is compacted away and the
+	// anchor advances (the prefix is "covered" by any future snapshot,
+	// which always reflects the latest state). maxWindow 0 disables
+	// retention: every re-sync is a full snapshot (the pre-delta
+	// baseline, kept for A/B measurement).
+	window      []ReplRecord
+	anchorSeq   int64
+	windowBytes int64
+	maxWindow   int64
+
 	peers map[string]*peerConn
+}
+
+// recBytes estimates one record's shipped size for window accounting
+// and the delta-vs-snapshot byte metrics.
+func recBytes(rec ReplRecord) int64 {
+	n := int64(96) // seq + op metadata framing
+	n += int64(len(rec.Data))
+	if rec.Wlog != nil {
+		n += int64(len(rec.Wlog.App) + len(rec.Wlog.Name))
+	}
+	if rec.Lock != nil {
+		n += int64(len(rec.Lock.Name) + len(rec.Lock.Holder) + len(rec.Lock.Err) + 64)
+	}
+	return n
+}
+
+// stateBytes estimates a full snapshot's shipped size.
+func stateBytes(st ReplState) int64 {
+	n := int64(len(st.Wlog)) + 128
+	for _, o := range st.Objects {
+		n += int64(len(o.Data)+len(o.Name)) + 64
+	}
+	return n
 }
 
 func newReplicator(srv *Server, tr transport.Transport, k int) *replicator {
 	r := &replicator{
-		srv:    srv,
-		tr:     tr,
-		k:      k,
-		mirror: newLockMirror(),
-		peers:  make(map[string]*peerConn),
+		srv:       srv,
+		tr:        tr,
+		k:         k,
+		mirror:    newLockMirror(),
+		peers:     make(map[string]*peerConn),
+		maxWindow: replWindowBytes,
 	}
 	r.cond = sync.NewCond(&r.mu)
 	go r.sender()
 	return r
+}
+
+// setWindow resizes the retained delta window (0 = snapshot-only).
+func (r *replicator) setWindow(n int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maxWindow = n
+	r.compactLocked()
+}
+
+// retain appends shipped records to the window and compacts the
+// covered prefix past the byte bound. Caller holds r.mu.
+func (r *replicator) retain(batch []ReplRecord) {
+	if r.maxWindow <= 0 {
+		return
+	}
+	for _, rec := range batch {
+		r.window = append(r.window, rec)
+		r.windowBytes += recBytes(rec)
+	}
+	r.compactLocked()
+}
+
+// compactLocked drops the oldest window records until the byte bound
+// holds, advancing the anchor. Caller holds r.mu.
+func (r *replicator) compactLocked() {
+	compacted := false
+	for len(r.window) > 0 && (r.windowBytes > r.maxWindow || r.maxWindow <= 0) {
+		r.windowBytes -= recBytes(r.window[0])
+		r.anchorSeq = r.window[0].Seq
+		r.window = r.window[1:]
+		compacted = true
+	}
+	if len(r.window) == 0 {
+		r.window = nil
+		r.windowBytes = 0
+	}
+	if compacted {
+		r.srv.reg.Counter("repl_anchor_compactions").Inc()
+	}
+}
+
+// windowSince returns the retained records with Seq > peerSeq, and
+// whether the window reaches back far enough to heal a peer at that
+// position with a delta.
+func (r *replicator) windowSince(peerSeq int64) ([]ReplRecord, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.maxWindow <= 0 || peerSeq < r.anchorSeq {
+		return nil, false
+	}
+	i := 0
+	for i < len(r.window) && r.window[i].Seq <= peerSeq {
+		i++
+	}
+	return append([]ReplRecord(nil), r.window[i:]...), true
 }
 
 // enqueue assigns the next sequence number to rec and queues it for
@@ -231,6 +332,9 @@ func (r *replicator) setState(seq int64, locks LockMirrorState) {
 	r.seq = seq
 	r.shipped = seq
 	r.queue = nil
+	r.window = nil
+	r.windowBytes = 0
+	r.anchorSeq = seq
 	r.mirror.importState(locks)
 }
 
@@ -270,6 +374,9 @@ func (r *replicator) sender() {
 		}
 		batch := r.queue
 		r.queue = nil
+		// Retain before shipping so a re-sync triggered by this very
+		// batch can serve it from the window.
+		r.retain(batch)
 		r.mu.Unlock()
 
 		r.ship(batch)
@@ -282,10 +389,12 @@ func (r *replicator) sender() {
 }
 
 // ship sends one batch to every current replica peer, re-syncing peers
-// that fell behind (or are fresh promotions) with a full snapshot. A
-// peer failure marks the peer for re-sync and is counted, but does not
-// fail the origin's operation: replica count degrades until the
-// membership heals, exactly like the data-redundancy layer.
+// that fell behind (or are fresh promotions): with a delta from the
+// retained window when the peer's position is still covered, else
+// with a full snapshot. A peer failure marks the peer for re-sync and
+// is counted, but does not fail the origin's operation: replica count
+// degrades until the membership heals, exactly like the
+// data-redundancy layer.
 func (r *replicator) ship(batch []ReplRecord) {
 	epoch, slot, targets := r.srv.replicaTargets(r.k)
 	if slot < 0 || len(targets) == 0 {
@@ -299,11 +408,14 @@ func (r *replicator) ship(batch []ReplRecord) {
 			continue
 		}
 		if p.needSnap {
-			if !r.sendSnapshot(p, epoch, slot) {
+			// Probe the peer's stream position with an empty apply, then
+			// heal it from wherever it actually is — the peer may hold
+			// almost everything already (a re-dialled warm replica), in
+			// which case the delta is tiny. The probe's batch is covered
+			// by the re-sync; the peer skips duplicates.
+			if !r.resync(p, addr, epoch, slot, -1) {
 				continue
 			}
-			// The snapshot was built after this batch was enqueued, so it
-			// already covers it; the peer skips the duplicate records.
 		}
 		raw, err := p.conn.Call(req)
 		if err != nil {
@@ -318,10 +430,71 @@ func (r *replicator) ship(batch []ReplRecord) {
 			continue
 		}
 		if resp.NeedSnapshot {
-			r.sendSnapshot(p, epoch, slot)
+			r.resync(p, addr, epoch, slot, resp.Seq)
 		}
 	}
 	r.srv.reg.Counter("repl_records_shipped").Add(int64(len(batch)))
+}
+
+// resync heals one peer. peerSeq is the peer's reported stream
+// position, or -1 to probe for it first. When the position is covered
+// by the retained window, only the missing suffix is re-shipped (a
+// delta since the anchor); a torn or refused delta — or a peer behind
+// the anchor — falls back to the full snapshot, which is always built
+// from the latest state (the freshest anchor). Returns true when the
+// peer is healed.
+func (r *replicator) resync(p *peerConn, addr string, epoch uint64, slot int, peerSeq int64) bool {
+	if peerSeq < 0 {
+		raw, err := p.conn.Call(ReplApplyReq{Epoch: epoch, Slot: slot})
+		if err != nil {
+			r.dropPeer(addr)
+			r.srv.reg.Counter("repl_peer_errors").Inc()
+			return false
+		}
+		resp, ok := raw.(ReplApplyResp)
+		if !ok {
+			r.dropPeer(addr)
+			r.srv.reg.Counter("repl_peer_errors").Inc()
+			return false
+		}
+		peerSeq = resp.Seq
+	}
+	if delta, ok := r.windowSince(peerSeq); ok {
+		healed, fatal := r.sendDelta(p, addr, epoch, slot, delta)
+		if healed {
+			p.needSnap = false
+			return true
+		}
+		if fatal {
+			return false
+		}
+		// Torn delta stream (the peer moved, or the window raced a
+		// compaction): fall back to the anchor.
+	}
+	return r.sendSnapshot(p, epoch, slot)
+}
+
+// sendDelta re-ships retained records. healed reports the peer
+// confirmed contiguity; fatal reports a transport failure (peer
+// dropped, no point trying the snapshot on this conn).
+func (r *replicator) sendDelta(p *peerConn, addr string, epoch uint64, slot int, delta []ReplRecord) (healed, fatal bool) {
+	raw, err := p.conn.Call(ReplApplyReq{Epoch: epoch, Slot: slot, Records: delta})
+	if err != nil {
+		r.dropPeer(addr)
+		r.srv.reg.Counter("repl_peer_errors").Inc()
+		return false, true
+	}
+	resp, ok := raw.(ReplApplyResp)
+	if !ok || resp.NeedSnapshot {
+		return false, false
+	}
+	var bytes int64
+	for _, rec := range delta {
+		bytes += recBytes(rec)
+	}
+	r.srv.reg.Counter("repl_delta_resyncs").Inc()
+	r.srv.reg.Counter("repl_delta_bytes").Add(bytes)
+	return true, false
 }
 
 func (r *replicator) sendSnapshot(p *peerConn, epoch uint64, slot int) bool {
@@ -337,6 +510,7 @@ func (r *replicator) sendSnapshot(p *peerConn, epoch uint64, slot int) bool {
 	}
 	p.needSnap = false
 	r.srv.reg.Counter("repl_snapshots_sent").Inc()
+	r.srv.reg.Counter("repl_snapshot_bytes").Add(stateBytes(state))
 	return true
 }
 
@@ -543,6 +717,16 @@ func (s *Server) EnableReplication(tr transport.Transport, k int) {
 	s.repl = newReplicator(s, tr, k)
 }
 
+// SetReplWindow resizes the retained delta-resync window in bytes.
+// 0 disables retention entirely: every re-sync ships a full snapshot
+// (the pre-incremental baseline, kept selectable for A/B
+// measurement). No-op when replication is disabled.
+func (s *Server) SetReplWindow(n int64) {
+	if s.repl != nil {
+		s.repl.setWindow(n)
+	}
+}
+
 // StopReplication stops the replication sender (server shutdown).
 func (s *Server) StopReplication() {
 	if s.repl != nil {
@@ -718,6 +902,12 @@ func (s *Server) handleWlogInstall(r WlogInstallReq) (any, error) {
 	}
 	if s.repl != nil {
 		s.repl.setState(r.State.Seq, r.State.Locks)
+	}
+	if s.tier != nil {
+		// The installed snapshot holds every live logged payload; the
+		// local tier described the spare's pre-promotion state and is
+		// now stale. Drop it — versions spill again under pressure.
+		s.tier.Reset()
 	}
 	// The store was just replaced wholesale with the dead server's
 	// content; a promoted spare inherits the per-tenant quota usage that

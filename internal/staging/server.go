@@ -13,6 +13,7 @@ import (
 	"gospaces/internal/metrics"
 	"gospaces/internal/qos"
 	"gospaces/internal/store"
+	"gospaces/internal/tier"
 	"gospaces/internal/trace"
 	"gospaces/internal/wlog"
 )
@@ -79,6 +80,14 @@ type Server struct {
 	// the server serves traffic (EnableQoS) and never change after.
 	qosCtl   *qos.Controller
 	qosSched *qos.Scheduler
+
+	// Cold tier (nil when disabled): cold logged versions spill to a
+	// PFS backend when resident bytes cross tierWater×budget and
+	// promote back transparently on get (tier.go). tierMu serializes
+	// spill/promote passes so concurrent puts don't double-demote.
+	tier      *tier.Tier
+	tierWater float64
+	tierMu    sync.Mutex
 }
 
 // lockAttempt records the latest lock RPC admitted for one holder. Lock
@@ -210,9 +219,9 @@ func laneFor(req any) qos.Lane {
 		return laneFor(r.Req)
 	case health.PingReq, LeaseCASReq, IntentPutReq, IntentClearReq,
 		LeaderInfoReq, EpochSetReq, MembershipReq, StatsReq, QosStatsReq,
-		TraceReq, ReplApplyReq, ReplSnapshotReq, ReplFetchReq:
+		TierStatsReq, TraceReq, ReplApplyReq, ReplSnapshotReq, ReplFetchReq:
 		return qos.LaneControl
-	case RecoveryReq, WlogInstallReq, ShardKeysReq:
+	case RecoveryReq, WlogInstallReq, ShardKeysReq, TierScrubReq:
 		return qos.LaneRecovery
 	case ShardPutReq:
 		if r.Rebuild {
@@ -325,6 +334,10 @@ func (s *Server) dispatch(req any) (any, error) {
 		return s.stats(), nil
 	case QosStatsReq:
 		return s.qosStats(), nil
+	case TierStatsReq:
+		return s.handleTierStats()
+	case TierScrubReq:
+		return s.handleTierScrub()
 	default:
 		return nil, fmt.Errorf("staging: server %d: unknown request type %T", s.id, req)
 	}
@@ -347,6 +360,10 @@ func (s *Server) handlePut(r PutReq) (any, error) {
 		// Try to make room before shedding or rejecting.
 		s.collectGarbage()
 	}
+	// Spill before shed: demote cold logged versions to the PFS tier
+	// (when one is attached) so replay-only payloads never cause a
+	// rejection of live traffic.
+	s.maybeSpill(incoming)
 	if s.qosCtl != nil {
 		// Multi-tenant admission: per-tenant quotas first, then the
 		// global ceiling shed in priority order. A rejection is typed
@@ -479,6 +496,10 @@ func (s *Server) applyGet(r GetReq) (GetResp, int64, error) {
 		version = v
 	}
 	objs := s.store.GetVersion(r.Name, version, r.BBox)
+	if len(objs) == 0 && s.promoteFromTier(r.Name, version) {
+		// The version was spilled cold; it is resident again.
+		objs = s.store.GetVersion(r.Name, version, r.BBox)
+	}
 	if len(objs) == 0 {
 		return GetResp{}, seq, fmt.Errorf("staging: get %q v%d %v: not staged on server %d", r.Name, version, r.BBox, s.id)
 	}
@@ -542,6 +563,7 @@ func (s *Server) collectGarbage() int64 {
 		frontier := s.log.PayloadFrontier(name)
 		freed += s.store.DropBelow(name, frontier, true)
 	}
+	s.tierGC()
 	s.reg.Counter("gc_freed_bytes").Add(freed)
 	if freed > 0 {
 		// Bulk frees move many tenants at once; re-derive the accounting

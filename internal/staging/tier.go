@@ -1,0 +1,194 @@
+package staging
+
+import (
+	"errors"
+	"strconv"
+	"time"
+
+	"gospaces/internal/tier"
+)
+
+// This file wires the PFS cold tier (internal/tier) into the staging
+// server: QoS-aware spill of cold logged versions when resident bytes
+// cross the spill watermark (strictly before the shed rule fires),
+// transparent promote-on-get for replay readers, checkpoint GC over
+// spilled versions, and the TierStats/TierScrub control RPCs.
+
+// defaultTierWatermark is the spill trigger as a fraction of the
+// memory budget when neither EnableTier nor QoS specifies one.
+const defaultTierWatermark = 0.6
+
+// EnableTier attaches a cold-tier backend. watermark is the fraction
+// of the memory budget above which puts demote cold versions; <= 0
+// picks the QoS SpillWater when QoS is enabled, else the default.
+// Call before the server serves traffic, after EnableQoS.
+func (s *Server) EnableTier(be tier.Backend, watermark float64) {
+	if watermark <= 0 || watermark >= 1 {
+		watermark = defaultTierWatermark
+		if s.qosCtl != nil {
+			watermark = s.qosCtl.Config().SpillWater
+		}
+	}
+	s.tier = tier.New(be, strconv.Itoa(s.id))
+	s.tierWater = watermark
+}
+
+// spillWater is the resident-bytes level above which puts demote cold
+// versions (0 = spill disabled).
+func (s *Server) spillWater() int64 {
+	if s.tier == nil || s.budget <= 0 {
+		return 0
+	}
+	return int64(float64(s.budget) * s.tierWater)
+}
+
+// maybeSpill demotes cold logged versions until resident bytes plus
+// the incoming payload fit under the spill watermark, or no candidates
+// remain. Cold means: strictly older than the newest version of its
+// name (normal readers only see the latest) yet still retained for
+// replay (at or above the payload frontier — anything below it is
+// garbage, collected by GC, not spilled). A degraded tier ends the
+// pass; the put then falls through to the normal GC/shed path.
+func (s *Server) maybeSpill(incoming int64) {
+	water := s.spillWater()
+	if water == 0 {
+		return
+	}
+	s.tierMu.Lock()
+	defer s.tierMu.Unlock()
+	if s.store.BytesUsed()+incoming <= water {
+		return
+	}
+	for _, name := range s.store.Names() {
+		versions := s.store.Versions(name)
+		if len(versions) < 2 {
+			continue
+		}
+		for _, v := range versions[:len(versions)-1] {
+			if s.store.BytesUsed()+incoming <= water {
+				return
+			}
+			if !s.spillVersion(name, v) && s.tier.Degraded() {
+				s.reg.Counter("tier.degraded_spills").Inc()
+				return
+			}
+		}
+	}
+}
+
+// spillVersion demotes one (name, version): every logged object is
+// durably committed to the tier before the RAM copy is dropped, so a
+// crash at any point leaves the version either resident or spilled —
+// never half-moved. Reports whether anything was demoted.
+func (s *Server) spillVersion(name string, version int64) bool {
+	start := time.Now()
+	objs := s.store.VersionObjects(name, version)
+	spilled := false
+	for _, o := range objs {
+		if !o.Logged || o.Data == nil {
+			continue
+		}
+		if err := s.tier.Spill(o); err != nil {
+			var de *tier.DegradedError
+			if errors.As(err, &de) {
+				return spilled
+			}
+			continue
+		}
+		spilled = true
+	}
+	if !spilled {
+		return false
+	}
+	freed := s.store.DropVersion(name, version)
+	s.reg.Counter("tier.spills").Inc()
+	s.reg.Counter("tier.spilled_bytes").Add(freed)
+	s.reg.Counter("tier.spill_nanos").Add(time.Since(start).Nanoseconds())
+	s.rebaseQoS()
+	return true
+}
+
+// promoteFromTier pulls (name, version) back into staging RAM — the
+// transparent promote-on-get path behind replay reads of spilled
+// versions. Reports whether any object was promoted.
+func (s *Server) promoteFromTier(name string, version int64) bool {
+	if s.tier == nil {
+		return false
+	}
+	start := time.Now()
+	s.tierMu.Lock()
+	defer s.tierMu.Unlock()
+	objs, err := s.tier.Promote(name, version)
+	if err != nil {
+		s.reg.Counter("tier.promote_errors").Inc()
+	}
+	if len(objs) == 0 {
+		return false
+	}
+	for _, o := range objs {
+		if err := s.store.Put(o); err != nil {
+			s.reg.Counter("tier.promote_errors").Inc()
+			return false
+		}
+	}
+	s.reg.Counter("tier.promotes").Inc()
+	s.reg.Counter("tier.promote_nanos").Add(time.Since(start).Nanoseconds())
+	s.rebaseQoS()
+	return true
+}
+
+// tierGC extends checkpoint GC to the cold tier: spilled versions
+// below the payload frontier can never be replayed again.
+func (s *Server) tierGC() int64 {
+	if s.tier == nil {
+		return 0
+	}
+	var freed int64
+	for _, name := range s.store.Names() {
+		freed += s.tier.DropBelow(name, s.log.PayloadFrontier(name))
+	}
+	s.reg.Counter("tier.gc_freed_bytes").Add(freed)
+	return freed
+}
+
+func (s *Server) handleTierStats() (any, error) {
+	resp := TierStatsResp{ID: s.id}
+	if s.tier == nil {
+		return resp, nil
+	}
+	st := s.tier.Stats()
+	resp.Enabled = true
+	resp.Degraded = st.Degraded
+	resp.Entries = st.Entries
+	resp.Bytes = st.Bytes
+	resp.Spills = st.Spills
+	resp.SpillBytes = st.SpillBytes
+	resp.Promotes = st.Promotes
+	resp.PromoteBytes = st.PromoteBytes
+	resp.ScrubChecked = st.ScrubChecked
+	resp.ScrubHealed = st.ScrubHealed
+	resp.ScrubLost = st.ScrubLost
+	resp.DegradedEvents = st.DegradedEvents
+	if s.repl != nil {
+		resp.DeltaResyncs = s.reg.Counter("repl_delta_resyncs").Value()
+		resp.DeltaBytes = s.reg.Counter("repl_delta_bytes").Value()
+		resp.SnapshotsSent = s.reg.Counter("repl_snapshots_sent").Value()
+		resp.SnapshotBytes = s.reg.Counter("repl_snapshot_bytes").Value()
+	}
+	return resp, nil
+}
+
+func (s *Server) handleTierScrub() (any, error) {
+	resp := TierScrubResp{ID: s.id}
+	if s.tier == nil {
+		return resp, nil
+	}
+	rep := s.tier.Scrub()
+	s.reg.Counter("tier.scrubs").Inc()
+	resp.Enabled = true
+	resp.Checked = rep.Checked
+	resp.Healed = rep.Healed
+	resp.Lost = rep.Lost
+	resp.Degraded = s.tier.Degraded()
+	return resp, nil
+}

@@ -1,0 +1,181 @@
+package staging
+
+import (
+	"bytes"
+	"testing"
+
+	"gospaces/internal/domain"
+	"gospaces/internal/pfs"
+	"gospaces/internal/tier"
+	"gospaces/internal/transport"
+)
+
+// tierGroup starts a group whose servers each get a private in-memory
+// PFS cold tier and a budget small enough that logged versions spill.
+func tierGroup(t *testing.T, nservers int, budget int64, k int) (*Group, map[int]*pfs.Store) {
+	t.Helper()
+	backends := map[int]*pfs.Store{}
+	g, err := StartGroup(transport.NewInProc(), "stage", Config{
+		Global:                domain.Box3(0, 0, 0, 63, 63, 0),
+		NServers:              nservers,
+		Bits:                  2,
+		ElemSize:              1,
+		MemoryBudgetPerServer: budget,
+		WlogReplicas:          k,
+		TierBackend: func(id int) tier.Backend {
+			be := pfs.NewStore()
+			backends[id] = be
+			return be
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.Close() })
+	return g, backends
+}
+
+// TestTierSpillAndPromoteOnGet drives logged puts past the spill
+// watermark and checks: cold versions demote to the PFS tier instead of
+// rejecting the put, resident bytes stay under budget, and a replay
+// read of a spilled version transparently promotes it back with a
+// byte-exact payload.
+func TestTierSpillAndPromoteOnGet(t *testing.T) {
+	const budget = 12000 // ~3 versions of 4096B; spill water 0.6 = 7200
+	g, _ := tierGroup(t, 1, budget, 0)
+	prod, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	cons, err := g.NewClient("ana/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cons.Close()
+	global := g.Config().Global
+	n := domain.BufLen(global, 1)
+	payload := func(v int64) []byte {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(int64(i)*3 + v)
+		}
+		return buf
+	}
+	for v := int64(1); v <= 6; v++ {
+		if err := prod.PutWithLog("field", v, global, payload(v)); err != nil {
+			t.Fatalf("put v%d: %v", v, err)
+		}
+	}
+	srv := g.Server(0)
+	st := srv.tier.Stats()
+	if st.Spills == 0 || st.Entries == 0 {
+		t.Fatalf("no versions spilled under budget pressure: %+v", st)
+	}
+	if used := srv.store.BytesUsed(); used > budget {
+		t.Fatalf("resident %d bytes exceeds budget %d despite tier", used, budget)
+	}
+	// The oldest versions must have left RAM for the tier.
+	if !srv.tier.HasName("field") {
+		t.Fatal("tier holds nothing for field")
+	}
+	// Replay reads of spilled versions promote transparently.
+	for v := int64(1); v <= 6; v++ {
+		got, _, err := cons.GetWithLog("field", v, global)
+		if err != nil {
+			t.Fatalf("get v%d: %v", v, err)
+		}
+		if !bytes.Equal(got, payload(v)) {
+			t.Fatalf("v%d payload diverged after spill/promote round trip", v)
+		}
+	}
+	if st = srv.tier.Stats(); st.Promotes == 0 {
+		t.Fatalf("reads of spilled versions promoted nothing: %+v", st)
+	}
+	// The control RPC reports the same accounting.
+	raw, err := srv.handleTierStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := raw.(TierStatsResp)
+	if !resp.Enabled || resp.Spills != st.Spills || resp.Promotes != st.Promotes {
+		t.Fatalf("TierStats mismatch: %+v vs %+v", resp, st)
+	}
+}
+
+// TestTierScrubRPCHealsBitRot corrupts one generation of a spilled
+// record at rest and checks the scrub RPC heals it from the twin — and
+// that the promoted payload stays byte-exact.
+func TestTierScrubRPCHealsBitRot(t *testing.T) {
+	g, backends := tierGroup(t, 1, 12000, 0)
+	prod, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	global := g.Config().Global
+	n := domain.BufLen(global, 1)
+	for v := int64(1); v <= 6; v++ {
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(int64(i) + v)
+		}
+		if err := prod.PutWithLog("field", v, global, buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be := backends[0]
+	names := be.List("tier/")
+	corrupted := 0
+	for _, name := range names {
+		if len(name) > 2 && name[len(name)-2:] == "g0" {
+			if be.Corrupt(name, 40) {
+				corrupted++
+			}
+		}
+	}
+	if corrupted == 0 {
+		t.Fatal("nothing to corrupt: no g0 records on the backend")
+	}
+	raw, err := g.Server(0).handleTierScrub()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := raw.(TierScrubResp)
+	if !resp.Enabled || resp.Healed == 0 {
+		t.Fatalf("scrub healed nothing after %d corruptions: %+v", corrupted, resp)
+	}
+	if resp.Lost != 0 {
+		t.Fatalf("single-generation corruption lost %d entries", resp.Lost)
+	}
+}
+
+// TestWlogInstallResetsTier: a promoted spare's stale pre-promotion
+// tier is dropped when the dead server's state is installed, so replay
+// reads never resurrect pre-promotion versions.
+func TestWlogInstallResetsTier(t *testing.T) {
+	g, _ := tierGroup(t, 2, 12000, 1)
+	prod, err := g.NewClient("sim/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer prod.Close()
+	global := g.Config().Global
+	n := domain.BufLen(global, 1)
+	for v := int64(1); v <= 6; v++ {
+		if err := prod.PutWithLog("field", v, global, fill(n, v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := g.Server(0)
+	if !srv.tier.HasName("field") {
+		t.Skip("budget did not force a spill on server 0")
+	}
+	st := fetchReplica(t, g.Server(1), 0)
+	if _, err := srv.handleWlogInstall(WlogInstallReq{Slot: 0, State: st}); err != nil {
+		t.Fatal(err)
+	}
+	if srv.tier.HasName("field") {
+		t.Fatal("tier survived a wlog install; stale spilled versions would shadow the restored state")
+	}
+}

@@ -138,6 +138,23 @@ func (s *Store) GetVersion(name string, version int64, q domain.BBox) []*Object 
 	return out
 }
 
+// VersionObjects returns all objects of name at exactly version,
+// regardless of bounding box — the spill path demotes whole versions,
+// not query intersections.
+func (s *Store) VersionObjects(name string, version int64) []*Object {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ni, ok := s.names[name]
+	if !ok {
+		return nil
+	}
+	vs, ok := ni.versions[version]
+	if !ok {
+		return nil
+	}
+	return append([]*Object(nil), vs.objs...)
+}
+
 // LatestVersion returns the newest version present for name that is
 // <= atMost (or the newest overall if atMost < 0), and whether any
 // version exists.

@@ -1,0 +1,46 @@
+package tier
+
+import (
+	"testing"
+
+	"gospaces/internal/pfs"
+)
+
+// BenchmarkSpillPromote cycles one 64 KiB logged object through the
+// full cold-tier round trip — twin-generation CRC'd records, manifest
+// commit, promote, reclaim — the unit of work a spilling put or a
+// replay read of a spilled version pays.
+func BenchmarkSpillPromote(b *testing.B) {
+	tr := New(pfs.NewStore(), "0")
+	o := obj("sim/f", 1, 64<<10)
+	b.SetBytes(int64(len(o.Data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Version = int64(i + 1)
+		if err := tr.Spill(o); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Promote(o.Name, o.Version); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScrub measures the CRC verification pass over a populated
+// tier, per spilled entry.
+func BenchmarkScrub(b *testing.B) {
+	tr := New(pfs.NewStore(), "0")
+	const entries = 64
+	for v := int64(1); v <= entries; v++ {
+		if err := tr.Spill(obj("sim/f", v, 4<<10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := tr.Scrub()
+		if rep.Lost != 0 || rep.Checked == 0 {
+			b.Fatalf("scrub report %+v", rep)
+		}
+	}
+}

@@ -1,0 +1,624 @@
+// Package tier implements the PFS-backed cold tier of the staging
+// service: cold object versions are demoted ("spilled") out of staging
+// RAM into CRC-checksummed records on checkpoint storage and promoted
+// back transparently when a replaying reader asks for them.
+//
+// Crash atomicity follows the checkpoint design of internal/ckpt. Each
+// spilled object is sealed with the same record framing
+// (ckpt.SealRecord) and written in two generations, so a single torn
+// write or bit flip never loses the record. The set of spilled entries
+// lives in a manifest committed by write-temp + rename + marker flip:
+// a spill is visible only after its manifest commit, and the caller
+// drops the RAM copy only after that, so a crash mid-spill never
+// leaves a version half-moved — it is either still resident or
+// durably in the tier. Records not reachable from the committed
+// manifest are orphans and are garbage-collected on attach.
+//
+// When the backend fails (ENOSPC, I/O errors) the tier degrades to
+// RAM-only mode: spills return the typed *DegradedError and the
+// staging server falls back to its normal shed path. A later Scrub
+// probes the backend and re-arms the tier, and also walks every
+// record, heals single-generation corruption from the surviving twin,
+// and reports anything unrecoverable — corruption is always detected
+// by CRC, never served as valid data.
+package tier
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"sync"
+
+	"gospaces/internal/ckpt"
+	"gospaces/internal/domain"
+	"gospaces/internal/store"
+)
+
+// Backend is the slice of a PFS store the tier needs. Both *pfs.Store
+// and *pfs.DirStore satisfy it.
+type Backend interface {
+	Write(name string, data []byte) error
+	Read(name string) ([]byte, bool)
+	Rename(old, new string) error
+	List(prefix string) []string
+	Delete(name string)
+}
+
+// DegradedError is returned when the cold tier is unavailable and the
+// server is running RAM-only. It wraps the backend fault that tripped
+// degradation, when one is known.
+type DegradedError struct {
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	if e.Cause != nil {
+		return fmt.Sprintf("tier: degraded (RAM-only): %v", e.Cause)
+	}
+	return "tier: degraded (RAM-only): cold tier unavailable"
+}
+
+func (e *DegradedError) Unwrap() error { return e.Cause }
+
+// ErrTierDegraded is the bare degraded sentinel (no specific cause).
+var ErrTierDegraded = &DegradedError{}
+
+// Entry is one spilled object record in the manifest.
+type Entry struct {
+	Key      uint64 // record id; records live at <prefix>o/<key>/g{0,1}
+	Name     string
+	Version  int64
+	BBox     domain.BBox
+	ElemSize int
+	CRC      uint32 // Castagnoli CRC of the payload (store.Object.CRC)
+	Bytes    int64
+}
+
+// recBody is the gob body sealed inside a spill record.
+type recBody struct {
+	Name     string
+	Version  int64
+	BBox     domain.BBox
+	ElemSize int
+	CRC      uint32
+	Data     []byte
+}
+
+// manifest is the gob body sealed inside the manifest record.
+type manifest struct {
+	NextKey uint64
+	Entries []Entry
+}
+
+// Stats is a point-in-time tier counter snapshot.
+type Stats struct {
+	Entries        int
+	Bytes          int64
+	Spills         int64
+	SpillBytes     int64
+	Promotes       int64
+	PromoteBytes   int64
+	ScrubChecked   int64
+	ScrubHealed    int64
+	ScrubLost      int64
+	Degraded       bool
+	DegradedEvents int64
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	Checked int64 // generation records verified
+	Healed  int64 // corrupt generations rewritten from the valid twin
+	Lost    int64 // entries with no valid generation (detected, dropped)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Tier is one server's cold tier. Safe for concurrent use.
+type Tier struct {
+	mu      sync.Mutex
+	be      Backend
+	prefix  string
+	byName  map[string]map[int64][]*Entry
+	nextKey uint64
+	mseq    uint64
+	mgen    int // committed manifest generation, -1 when none
+
+	degraded       bool
+	degradedCause  error
+	spills         int64
+	spillBytes     int64
+	promotes       int64
+	promoteBytes   int64
+	scrubChecked   int64
+	scrubHealed    int64
+	scrubLost      int64
+	degradedEvents int64
+	entries        int
+	bytes          int64
+}
+
+// New attaches a tier rooted at <id> on be, recovering the committed
+// manifest (if any) and garbage-collecting orphaned records left by a
+// crash between record writes and the manifest commit.
+func New(be Backend, id string) *Tier {
+	t := &Tier{
+		be:     be,
+		prefix: fmt.Sprintf("tier/%s/", id),
+		byName: make(map[string]map[int64][]*Entry),
+		mgen:   -1,
+	}
+	t.load()
+	return t
+}
+
+func (t *Tier) recKey(key uint64, gen int) string {
+	return fmt.Sprintf("%so/%d/g%d", t.prefix, key, gen)
+}
+func (t *Tier) manKey(gen int) string { return fmt.Sprintf("%smanifest/g%d", t.prefix, gen) }
+func (t *Tier) manCur() string        { return t.prefix + "manifest/cur" }
+func (t *Tier) manTmp() string        { return t.prefix + "manifest.tmp" }
+
+// load recovers manifest state on attach. Caller is the constructor;
+// no lock needed yet.
+func (t *Tier) load() {
+	var man manifest
+	found := false
+	order := []int{0, 1}
+	if cur, ok := t.be.Read(t.manCur()); ok && len(cur) == 1 && cur[0] <= 1 {
+		order = []int{int(cur[0]), 1 - int(cur[0])}
+	}
+	var seqs [2]uint64
+	var bodies [2][]byte
+	var valid [2]bool
+	for g := 0; g < 2; g++ {
+		if rec, ok := t.be.Read(t.manKey(g)); ok {
+			seqs[g], bodies[g], valid[g] = ckpt.OpenRecord(rec)
+		}
+	}
+	if !valid[order[0]] && valid[order[1]] {
+		order[0], order[1] = order[1], order[0]
+	} else if valid[0] && valid[1] && seqs[order[1]] > seqs[order[0]] && t.mgenFromMarker() < 0 {
+		order[0], order[1] = order[1], order[0]
+	}
+	for _, g := range order {
+		if !valid[g] {
+			continue
+		}
+		if err := gob.NewDecoder(bytes.NewReader(bodies[g])).Decode(&man); err != nil {
+			continue
+		}
+		t.mseq = seqs[g]
+		t.mgen = g
+		found = true
+		break
+	}
+	live := make(map[string]bool)
+	if found {
+		t.nextKey = man.NextKey
+		for i := range man.Entries {
+			e := man.Entries[i]
+			t.index(&e)
+			live[t.recKey(e.Key, 0)] = true
+			live[t.recKey(e.Key, 1)] = true
+		}
+	}
+	// Orphan GC: records the committed manifest doesn't reach were
+	// abandoned mid-spill (or mid-promote) by a crash.
+	for _, name := range t.be.List(t.prefix + "o/") {
+		if !live[name] {
+			t.be.Delete(name)
+		}
+	}
+	t.be.Delete(t.manTmp())
+}
+
+func (t *Tier) mgenFromMarker() int {
+	cur, ok := t.be.Read(t.manCur())
+	if !ok || len(cur) != 1 || cur[0] > 1 {
+		return -1
+	}
+	return int(cur[0])
+}
+
+func (t *Tier) index(e *Entry) {
+	vers, ok := t.byName[e.Name]
+	if !ok {
+		vers = make(map[int64][]*Entry)
+		t.byName[e.Name] = vers
+	}
+	vers[e.Version] = append(vers[e.Version], e)
+	t.entries++
+	t.bytes += e.Bytes
+	if e.Key >= t.nextKey {
+		t.nextKey = e.Key + 1
+	}
+}
+
+func (t *Tier) unindex(e *Entry) {
+	vers := t.byName[e.Name]
+	list := vers[e.Version]
+	for i, x := range list {
+		if x.Key == e.Key {
+			vers[e.Version] = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(vers[e.Version]) == 0 {
+		delete(vers, e.Version)
+	}
+	if len(vers) == 0 {
+		delete(t.byName, e.Name)
+	}
+	t.entries--
+	t.bytes -= e.Bytes
+}
+
+// commitManifest persists the in-memory entry set: seal, write to the
+// temp name, rename into the non-committed generation, flip the
+// marker. Caller holds t.mu.
+func (t *Tier) commitManifest() error {
+	var man manifest
+	man.NextKey = t.nextKey
+	for _, vers := range t.byName {
+		for _, list := range vers {
+			for _, e := range list {
+				man.Entries = append(man.Entries, *e)
+			}
+		}
+	}
+	sort.Slice(man.Entries, func(i, j int) bool { return man.Entries[i].Key < man.Entries[j].Key })
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&man); err != nil {
+		return fmt.Errorf("tier: manifest encode: %w", err)
+	}
+	t.mseq++
+	target := 0
+	if t.mgen == 0 {
+		target = 1
+	}
+	if err := t.be.Write(t.manTmp(), ckpt.SealRecord(t.mseq, buf.Bytes())); err != nil {
+		t.mseq--
+		return err
+	}
+	if err := t.be.Rename(t.manTmp(), t.manKey(target)); err != nil {
+		t.mseq--
+		return err
+	}
+	if err := t.be.Write(t.manCur(), []byte{byte(target)}); err != nil {
+		// The rename landed but the marker didn't: the old generation
+		// is still the committed one. Roll back our view.
+		t.mseq--
+		return err
+	}
+	t.mgen = target
+	return nil
+}
+
+func (t *Tier) degrade(cause error) *DegradedError {
+	t.degraded = true
+	t.degradedCause = cause
+	t.degradedEvents++
+	return &DegradedError{Cause: cause}
+}
+
+// Spill demotes one resident object into the cold tier. On success the
+// entry is durably committed and the caller may drop the RAM copy. A
+// backend fault degrades the tier and returns *DegradedError.
+func (t *Tier) Spill(o *store.Object) error {
+	if o.Data == nil {
+		return fmt.Errorf("tier: refusing to spill metadata-only object %s@%d", o.Name, o.Version)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.degraded {
+		return &DegradedError{Cause: t.degradedCause}
+	}
+	body := recBody{
+		Name:     o.Name,
+		Version:  o.Version,
+		BBox:     o.BBox,
+		ElemSize: o.ElemSize,
+		CRC:      o.CRC,
+		Data:     o.Data,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&body); err != nil {
+		return fmt.Errorf("tier: spill encode: %w", err)
+	}
+	key := t.nextKey
+	t.nextKey++
+	rec := ckpt.SealRecord(key, buf.Bytes())
+	for g := 0; g < 2; g++ {
+		if err := t.be.Write(t.recKey(key, g), rec); err != nil {
+			t.be.Delete(t.recKey(key, 0))
+			return t.degrade(err)
+		}
+	}
+	e := &Entry{
+		Key:      key,
+		Name:     o.Name,
+		Version:  o.Version,
+		BBox:     o.BBox,
+		ElemSize: o.ElemSize,
+		CRC:      o.CRC,
+		Bytes:    int64(len(o.Data)),
+	}
+	t.index(e)
+	if err := t.commitManifest(); err != nil {
+		t.unindex(e)
+		t.be.Delete(t.recKey(key, 0))
+		t.be.Delete(t.recKey(key, 1))
+		return t.degrade(err)
+	}
+	t.spills++
+	t.spillBytes += e.Bytes
+	return nil
+}
+
+// Has reports whether any entry exists for (name, version).
+func (t *Tier) Has(name string, version int64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byName[name][version]) > 0
+}
+
+// HasName reports whether any version of name is spilled.
+func (t *Tier) HasName(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byName[name]) > 0
+}
+
+// Versions returns the ascending spilled versions of name.
+func (t *Tier) Versions(name string) []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []int64
+	for v := range t.byName[name] {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// readEntry reads and verifies one entry, trying the committed
+// generation order. Caller holds t.mu.
+func (t *Tier) readEntry(e *Entry) (*store.Object, bool) {
+	for g := 0; g < 2; g++ {
+		rec, ok := t.be.Read(t.recKey(e.Key, g))
+		if !ok {
+			continue
+		}
+		seq, body, ok := ckpt.OpenRecord(rec)
+		if !ok || seq != e.Key {
+			continue
+		}
+		var rb recBody
+		if err := gob.NewDecoder(bytes.NewReader(body)).Decode(&rb); err != nil {
+			continue
+		}
+		if rb.Name != e.Name || rb.Version != e.Version {
+			continue
+		}
+		if crc32.Checksum(rb.Data, crcTable) != rb.CRC {
+			continue
+		}
+		return &store.Object{
+			Name:     rb.Name,
+			Version:  rb.Version,
+			BBox:     rb.BBox,
+			ElemSize: rb.ElemSize,
+			Data:     rb.Data,
+			CRC:      rb.CRC,
+			Logged:   true,
+		}, true
+	}
+	return nil, false
+}
+
+// Promote reads back every spilled object of (name, version), removes
+// the entries from the manifest, and returns the objects for
+// re-insertion into staging RAM. Entries whose both generations fail
+// verification are dropped and counted lost — corruption is detected,
+// never returned as data.
+func (t *Tier) Promote(name string, version int64) ([]*store.Object, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	list := t.byName[name][version]
+	if len(list) == 0 {
+		return nil, nil
+	}
+	var objs []*store.Object
+	var promoted []*Entry
+	for _, e := range append([]*Entry(nil), list...) {
+		o, ok := t.readEntry(e)
+		if !ok {
+			t.scrubLost++
+			t.unindex(e)
+			continue
+		}
+		objs = append(objs, o)
+		promoted = append(promoted, e)
+	}
+	for _, e := range promoted {
+		t.unindex(e)
+	}
+	// Commit the manifest without the promoted entries first; record
+	// deletion after the commit at worst leaves orphans for the next
+	// attach to collect.
+	if err := t.commitManifest(); err != nil {
+		// The tier copy is still committed; the caller re-inserts the
+		// data into RAM, which is safe (promote is idempotent), but
+		// the backend is misbehaving: degrade.
+		for _, e := range promoted {
+			t.index(e)
+		}
+		return objs, t.degrade(err)
+	}
+	for _, e := range promoted {
+		t.be.Delete(t.recKey(e.Key, 0))
+		t.be.Delete(t.recKey(e.Key, 1))
+	}
+	for _, o := range objs {
+		t.promotes++
+		t.promoteBytes += int64(len(o.Data))
+	}
+	return objs, nil
+}
+
+// DropBelow discards spilled versions of name strictly older than
+// keep — checkpoint GC extended to the cold tier. It returns payload
+// bytes freed.
+func (t *Tier) DropBelow(name string, keep int64) int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var drop []*Entry
+	for v, list := range t.byName[name] {
+		if v < keep {
+			drop = append(drop, list...)
+		}
+	}
+	if len(drop) == 0 {
+		return 0
+	}
+	var freed int64
+	for _, e := range drop {
+		t.unindex(e)
+		freed += e.Bytes
+	}
+	if err := t.commitManifest(); err != nil {
+		for _, e := range drop {
+			t.index(e)
+		}
+		t.degrade(err)
+		return 0
+	}
+	for _, e := range drop {
+		t.be.Delete(t.recKey(e.Key, 0))
+		t.be.Delete(t.recKey(e.Key, 1))
+	}
+	return freed
+}
+
+// Reset discards all tier state (records, manifest, degradation) —
+// used when a promoted spare installs a dead server's replicated
+// state, which supersedes anything the local tier held.
+func (t *Tier) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, name := range t.be.List(t.prefix) {
+		t.be.Delete(name)
+	}
+	t.byName = make(map[string]map[int64][]*Entry)
+	t.entries = 0
+	t.bytes = 0
+	t.mgen = -1
+	t.mseq = 0
+	t.degraded = false
+	t.degradedCause = nil
+}
+
+// Scrub verifies the CRC of every generation of every spilled record.
+// A corrupt generation with a valid twin is rewritten from the twin
+// ("re-replicated"); an entry with no valid generation is dropped and
+// counted lost. A successful pass over a degraded tier re-arms it —
+// scrub doubles as the repair probe.
+func (t *Tier) Scrub() ScrubReport {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var rep ScrubReport
+	var all []*Entry
+	for _, vers := range t.byName {
+		for _, list := range vers {
+			all = append(all, list...)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	healthy := true
+	var lost []*Entry
+	for _, e := range all {
+		var good []byte
+		var bad []int
+		for g := 0; g < 2; g++ {
+			rec, ok := t.be.Read(t.recKey(e.Key, g))
+			rep.Checked++
+			if !ok {
+				bad = append(bad, g)
+				continue
+			}
+			if seq, _, vok := ckpt.OpenRecord(rec); !vok || seq != e.Key {
+				bad = append(bad, g)
+				continue
+			}
+			if good == nil {
+				good = rec
+			}
+		}
+		if good == nil {
+			rep.Lost++
+			lost = append(lost, e)
+			continue
+		}
+		for _, g := range bad {
+			if err := t.be.Write(t.recKey(e.Key, g), good); err != nil {
+				healthy = false
+				continue
+			}
+			rep.Healed++
+		}
+	}
+	for _, e := range lost {
+		t.unindex(e)
+	}
+	if len(lost) > 0 {
+		if err := t.commitManifest(); err != nil {
+			healthy = false
+		} else {
+			for _, e := range lost {
+				t.be.Delete(t.recKey(e.Key, 0))
+				t.be.Delete(t.recKey(e.Key, 1))
+			}
+		}
+	}
+	if healthy && t.degraded {
+		// Probe the backend before re-arming.
+		if err := t.be.Write(t.prefix+"probe", []byte{1}); err == nil {
+			t.be.Delete(t.prefix + "probe")
+			t.degraded = false
+			t.degradedCause = nil
+		}
+	}
+	t.scrubChecked += rep.Checked
+	t.scrubHealed += rep.Healed
+	t.scrubLost += rep.Lost
+	return rep
+}
+
+// Degraded reports whether the tier is in RAM-only mode.
+func (t *Tier) Degraded() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.degraded
+}
+
+// Stats returns a counter snapshot.
+func (t *Tier) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		Entries:        t.entries,
+		Bytes:          t.bytes,
+		Spills:         t.spills,
+		SpillBytes:     t.spillBytes,
+		Promotes:       t.promotes,
+		PromoteBytes:   t.promoteBytes,
+		ScrubChecked:   t.scrubChecked,
+		ScrubHealed:    t.scrubHealed,
+		ScrubLost:      t.scrubLost,
+		Degraded:       t.degraded,
+		DegradedEvents: t.degradedEvents,
+	}
+}

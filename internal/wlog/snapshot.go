@@ -31,38 +31,69 @@ type snapshot struct {
 	LastGet []snapReader
 }
 
+// cowQueue is the copy-on-write capture of one app queue: the event
+// pointer-slice header plus the scalars, taken under the lock. It is
+// safe to read after unlock because events are immutable once appended
+// and every compaction reallocates the backing array (full slice
+// expressions cap the shared prefix), so concurrent appends land past
+// the captured length, never inside it.
+type cowQueue struct {
+	app       string
+	events    []*Event
+	nextSeq   int64
+	nextChk   int64
+	replaying bool
+	cursor    int
+	anchor    int
+}
+
 // Snapshot serializes the complete log state — events, cursors,
 // anchors, lastGet, nextSeq/nextChk — into a deterministic byte string:
 // two logs in the same state produce identical bytes.
+//
+// The lock is held only to capture slice headers and flatten the small
+// lastGet maps — O(queues + readers), not O(events). The event
+// dereference, sort, and gob encode (the expensive part, linear in
+// resident log bytes) run outside the lock, so a snapshot for wlog
+// replication no longer stalls concurrent puts and gets.
 func (l *Log) Snapshot() ([]byte, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	snap := snapshot{}
-	apps := make([]string, 0, len(l.apps))
-	for a := range l.apps {
-		apps = append(apps, a)
+	queues := make([]cowQueue, 0, len(l.apps))
+	for a, q := range l.apps {
+		queues = append(queues, cowQueue{
+			app:       a,
+			events:    q.events,
+			nextSeq:   q.nextSeq,
+			nextChk:   q.nextChk,
+			replaying: q.replaying,
+			cursor:    q.cursor,
+			anchor:    q.anchor,
+		})
 	}
-	sort.Strings(apps)
-	for _, a := range apps {
-		q := l.apps[a]
-		sq := snapQueue{
-			App:       a,
-			Events:    make([]Event, len(q.events)),
-			NextSeq:   q.nextSeq,
-			NextChk:   q.nextChk,
-			Replaying: q.replaying,
-			Cursor:    q.cursor,
-			Anchor:    q.anchor,
+	var readers []snapReader
+	for app, m := range l.lastGet {
+		for name, v := range m {
+			readers = append(readers, snapReader{App: app, Name: name, Version: v})
 		}
-		for i, e := range q.events {
+	}
+	l.mu.Unlock()
+
+	sort.Slice(queues, func(i, j int) bool { return queues[i].app < queues[j].app })
+	snap := snapshot{LastGet: readers}
+	for _, cq := range queues {
+		sq := snapQueue{
+			App:       cq.app,
+			Events:    make([]Event, len(cq.events)),
+			NextSeq:   cq.nextSeq,
+			NextChk:   cq.nextChk,
+			Replaying: cq.replaying,
+			Cursor:    cq.cursor,
+			Anchor:    cq.anchor,
+		}
+		for i, e := range cq.events {
 			sq.Events[i] = *e
 		}
 		snap.Queues = append(snap.Queues, sq)
-	}
-	for app, m := range l.lastGet {
-		for name, v := range m {
-			snap.LastGet = append(snap.LastGet, snapReader{App: app, Name: name, Version: v})
-		}
 	}
 	sort.Slice(snap.LastGet, func(i, j int) bool {
 		a, b := snap.LastGet[i], snap.LastGet[j]

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -12,9 +13,11 @@ import (
 	"gospaces/internal/domain"
 	"gospaces/internal/failure"
 	"gospaces/internal/health"
+	"gospaces/internal/pfs"
 	"gospaces/internal/qos"
 	"gospaces/internal/recovery"
 	"gospaces/internal/staging"
+	"gospaces/internal/tier"
 	"gospaces/internal/transport"
 	"gospaces/internal/wlog"
 )
@@ -64,6 +67,15 @@ type NemesisOptions struct {
 	// the soak asserts recovery and the logged data path survive while
 	// the flood is shed.
 	Overload int
+	// Tier gives every server and spare a PFS cold tier plus a memory
+	// budget of ~4 versions, so the producer's logged history spills and
+	// replay reads promote spilled versions back.
+	Tier bool
+	// StorageFaults draws a seeded failure.NemesisTier schedule of that
+	// many injections and arms its PFS faults — torn/partial writes at
+	// random offsets, at-rest bit rot, ENOSPC, slow I/O — against the
+	// servers' tier backends while the soak runs. Requires Tier.
+	StorageFaults int
 }
 
 // NemesisResult is the observable outcome a soak test asserts on.
@@ -86,6 +98,13 @@ type NemesisResult struct {
 	OverloadWindows int    // tenant-overload windows armed from the schedule
 	FloodPuts       int64  // puts the flood tenant attempted during those windows
 	FloodSheds      int64  // flood puts rejected with a typed qos overload
+	StorageArmed    int64  // PFS faults armed from the NemesisTier schedule
+	TierSpills      int64  // versions demoted to the cold tier, summed across servers
+	TierPromotes    int64  // spilled versions promoted back by replay reads
+	ScrubChecked    int64  // spilled generations checked by the post-soak scrub
+	ScrubHealed     int64  // corrupt generations re-replicated from the twin
+	ScrubLost       int64  // entries lost to double corruption (must stay 0)
+	TierDegraded    bool   // any tier still degraded after the post-soak scrub
 }
 
 var nemesisStages = []string{"intent", "restored", "replaced", "pushed"}
@@ -155,6 +174,21 @@ func RunNemesis(o NemesisOptions) (NemesisResult, error) {
 		scfg.QoS = &qos.Config{
 			Tenants: map[string]qos.Quota{"flood": {StagingBytes: 4096, Priority: 0}},
 			Default: qos.Quota{Priority: 1},
+		}
+	}
+	var tierMu sync.Mutex
+	tierBackends := map[int]*pfs.Store{}
+	if o.Tier {
+		// A budget of ~4 versions forces the older logged history to
+		// spill; replay reads then promote it back. Spares get their own
+		// (reset-on-promotion) tiers via the same hook.
+		scfg.MemoryBudgetPerServer = 4 * global.Volume()
+		scfg.TierBackend = func(id int) tier.Backend {
+			be := pfs.NewStore()
+			tierMu.Lock()
+			tierBackends[id] = be
+			tierMu.Unlock()
+			return be
 		}
 	}
 	group, err := staging.StartGroup(tr, fmt.Sprintf("nemesis/%d", o.Seed), scfg)
@@ -262,6 +296,73 @@ func RunNemesis(o NemesisOptions) (NemesisResult, error) {
 			default:
 				// Permanent fail-stops stay deterministic (bounded by the
 				// spare pool); skip schedule-driven ones.
+			}
+		}
+	}
+
+	// Storage faults against the cold tiers: torn/partial writes and
+	// ENOSPC arm one-shot write faults (a failed spill rolls back and
+	// the version stays resident — never half-moved), bit rot corrupts a
+	// committed generation-0 record at rest (the twin generation must
+	// heal it), and slow-I/O windows drag every tier access. All of it
+	// runs while servers die and the flood sheds.
+	var storageArmed atomic.Int64
+	if o.Tier && o.StorageFaults > 0 {
+		sched, err := failure.NemesisTier(o.Seed+1, o.StorageFaults, 300*time.Millisecond, 40*time.Millisecond, o.Servers)
+		if err != nil {
+			return res, err
+		}
+		start := time.Now()
+		for _, inj := range sched {
+			inj := inj
+			arm := func(f func(be *pfs.Store)) {
+				time.AfterFunc(inj.At-time.Since(start), func() {
+					tierMu.Lock()
+					be := tierBackends[inj.Server]
+					tierMu.Unlock()
+					if be == nil {
+						return
+					}
+					f(be)
+					storageArmed.Add(1)
+				})
+			}
+			switch inj.Kind {
+			case failure.PFSTornWrite:
+				arm(func(be *pfs.Store) { be.FailNextWriteAt(pfs.FaultTruncate, inj.Offset) })
+			case failure.PFSPartialWrite:
+				arm(func(be *pfs.Store) { be.FailNextWriteAt(pfs.FaultPartial, inj.Offset) })
+			case failure.PFSENOSPC:
+				arm(func(be *pfs.Store) { be.FailNextWriteAt(pfs.FaultENOSPC, -1) })
+			case failure.PFSBitRot:
+				arm(func(be *pfs.Store) {
+					// Rot a committed generation-0 record; its generation-1
+					// twin stays intact, so the corruption is always
+					// healable — any read or scrub must detect it, never
+					// serve it.
+					var g0 []string
+					for _, name := range be.List("tier/") {
+						if strings.HasSuffix(name, "/g0") {
+							g0 = append(g0, name)
+						}
+					}
+					if len(g0) == 0 {
+						return
+					}
+					off := inj.Offset
+					if off < 0 {
+						off = 0
+					}
+					be.Corrupt(g0[off%len(g0)], off)
+				})
+			case failure.PFSSlowIO:
+				arm(func(be *pfs.Store) {
+					be.SetSlowIO(200 * time.Microsecond)
+					time.AfterFunc(inj.Duration, func() { be.SetSlowIO(0) })
+				})
+			default:
+				// Fail-stops and overload windows stay with their own
+				// deterministic/seeded drivers above.
 			}
 		}
 	}
@@ -431,6 +532,46 @@ func RunNemesis(o NemesisOptions) (NemesisResult, error) {
 	floodWG.Wait()
 	res.FloodPuts = floodPuts.Load()
 	res.FloodSheds = floodSheds.Load()
+	res.StorageArmed = storageArmed.Load()
+
+	// Post-soak tier audit: disarm any fault still pending (the soak is
+	// over; a live one-shot would sabotage the scrub's healing writes),
+	// then scrub every reachable server's tier. Everything the storage
+	// nemesis corrupted must surface here as detected-and-healed; a lost
+	// entry would mean both generations rotted (the schedule never does
+	// that) and an undetected one would already have failed the
+	// byte-exact read/replay phases above.
+	if o.Tier {
+		tierMu.Lock()
+		for _, be := range tierBackends {
+			be.FailNextWriteAt(pfs.FaultNone, -1)
+			be.SetSlowIO(0)
+		}
+		tierMu.Unlock()
+		for _, addr := range group.Addrs() {
+			conn, err := tr.Dial(addr)
+			if err != nil {
+				continue // a dead slot's original address
+			}
+			if raw, err := conn.Call(staging.TierScrubReq{}); err == nil {
+				if sc, ok := raw.(staging.TierScrubResp); ok && sc.Enabled {
+					res.ScrubChecked += sc.Checked
+					res.ScrubHealed += sc.Healed
+					res.ScrubLost += sc.Lost
+					if sc.Degraded {
+						res.TierDegraded = true
+					}
+				}
+			}
+			if raw, err := conn.Call(staging.TierStatsReq{}); err == nil {
+				if st, ok := raw.(staging.TierStatsResp); ok && st.Enabled {
+					res.TierSpills += st.Spills
+					res.TierPromotes += st.Promotes
+				}
+			}
+			conn.Close()
+		}
+	}
 
 	// Settle: the lease must converge on exactly one holder — a leader
 	// killed at the tail of a promotion leaves takeover (and the

@@ -142,6 +142,54 @@ func TestNemesisOverloadSoak(t *testing.T) {
 	}
 }
 
+// TestNemesisTierSoak is the storage-fault acceptance gate: servers
+// run with a cold PFS tier and a budget that forces the logged history
+// to spill, while a seeded failure.NemesisTier schedule tears, cuts,
+// rots, ENOSPC-fails and slows the tier underneath them, a server
+// fail-stops, and (in the flood variant) a low-priority tenant floods
+// the group. Every seeded run must keep the one-promotion-per-death
+// ledger, replay byte-exactly through the restored and re-promoted
+// history, and end with a scrub that finds zero undetected or
+// unrecoverable corruptions.
+func TestNemesisTierSoak(t *testing.T) {
+	seeds := []int64{41, 42, 43}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for i, seed := range seeds {
+		overload := 0
+		if i == len(seeds)-1 {
+			overload = 4 // last seed composes the tenant flood on top
+		}
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			res, err := RunNemesis(NemesisOptions{
+				Seed:          seed,
+				Steps:         10,
+				Tier:          true,
+				StorageFaults: 8,
+				Overload:      overload,
+			})
+			checkNemesis(t, res, err)
+			checkStrict(t, res)
+			if res.TierSpills == 0 {
+				t.Fatalf("budget pressure spilled nothing to the tier: %+v", res)
+			}
+			if res.TierPromotes == 0 {
+				t.Fatalf("replay reads promoted nothing back from the tier: %+v", res)
+			}
+			if res.StorageArmed == 0 {
+				t.Fatalf("schedule armed no storage faults: %+v", res)
+			}
+			if res.ScrubLost != 0 {
+				t.Fatalf("scrub lost %d entries to double corruption: %+v", res.ScrubLost, res)
+			}
+			if res.TierDegraded {
+				t.Fatalf("a tier stayed degraded after the post-soak scrub: %+v", res)
+			}
+		})
+	}
+}
+
 // TestWorkflowRedundantSupervisors runs the full workflow (ranks,
 // checkpoints, rank fail-stop, server fail-stop) under three redundant
 // supervisors: exactly one of them must do the promotion.
