@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race short bench bench-smoke bench-json nemesis
+.PHONY: check vet build test race short bench bench-smoke bench-json nemesis soak-smoke
 
 check: vet test race
 
@@ -23,7 +23,7 @@ test: build
 # state machines: wlog, ckpt, pfs, the cold tier — the parallel EC
 # kernel, and the admission-control/QoS layer).
 race:
-	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/... ./internal/tier/... ./internal/qos/...
+	$(GO) test -race ./internal/transport/... ./internal/staging/... ./internal/ec/... ./internal/health/... ./internal/recovery/... ./internal/corec/... ./internal/wlog/... ./internal/ckpt/... ./internal/pfs/... ./internal/tier/... ./internal/qos/... ./internal/trace/...
 
 # Fast loop: -short skips the chaos soak and other slow tests.
 short:
@@ -37,6 +37,14 @@ short:
 # PFS cold tier underneath a spilling, fail-stopping group).
 nemesis:
 	$(GO) test -race -run 'TestNemesis' -count=1 -timeout 10m ./internal/workflow/
+
+# Bounded churn-soak gate: replay the checked-in regression traces
+# and the record-vs-replay determinism tests, then run two fresh
+# wfbench soak seeds end to end (record, execute, replay, compare
+# digests). Stays well under two minutes.
+soak-smoke:
+	$(GO) test -run 'TestSoakReplayDeterministic|TestSoakDivergenceDeterministic|TestReplayRegression' -count=1 -timeout 5m ./internal/workflow/
+	$(GO) run ./cmd/wfbench -exp soak -seeds 2 -trace-dir .
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ ./...

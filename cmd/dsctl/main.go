@@ -12,7 +12,12 @@
 //	get  <name> <version>   read it back and verify every byte
 //	versions <name>         list staged versions
 //	check                   send a checkpoint event (workflow_check)
-//	trace [n]               dump the servers' recent protocol trace
+//	trace [n]               render the servers' recent protocol trace
+//	trace dump <file> [n]   merge the servers' recent records and
+//	                        persist them as a durable trace file
+//	trace replay <file>     re-issue a trace file's workload operations
+//	                        against the connected group, verifying
+//	                        every byte a get returns
 //	restart                 switch to replay mode (workflow_restart)
 //	stats                   print aggregated staging statistics
 //	health                  probe each server's liveness, membership
@@ -155,20 +160,7 @@ func run(servers, domainStr string, elem, bits int, app string, opts gospaces.Di
 		}
 		fmt.Printf("recovery event sent; %d events will replay\n", n)
 	case "trace":
-		limit := 0
-		if len(args) > 1 {
-			limit, err = strconv.Atoi(args[1])
-			if err != nil {
-				return fmt.Errorf("bad limit %q", args[1])
-			}
-		}
-		records, err := client.Trace(limit)
-		if err != nil {
-			return err
-		}
-		for _, r := range records {
-			fmt.Println(r)
-		}
+		return traceCmd(client, global, elem, bits, len(addrs), args[1:])
 	case "stats":
 		st, err := client.Stats()
 		if err != nil {

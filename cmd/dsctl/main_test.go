@@ -1,6 +1,7 @@
 package main
 
 import (
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -74,6 +75,95 @@ func TestEndToEndAgainstLiveServers(t *testing.T) {
 	}
 	if err := run(servers, "32x32x16", 8, 2, "dsctl/0", gospaces.DefaultDialOptions(), []string{"trace", "zz"}); err == nil {
 		t.Fatal("bad trace limit accepted")
+	}
+}
+
+// traceCmd validates its subcommand arguments before touching the
+// client, so a nil client is safe here.
+func TestTraceCmdArgErrors(t *testing.T) {
+	global := gospaces.Box3(0, 0, 0, 3, 3, 0)
+	cases := [][]string{
+		{"dump"},           // missing file
+		{"dump", "f", "x"}, // bad limit
+		{"replay"},         // missing file
+		{"nonsense"},       // neither subcommand nor limit
+	}
+	for _, args := range cases {
+		if err := traceCmd(nil, global, 4, 1, 1, args); err == nil {
+			t.Fatalf("%v accepted", args)
+		}
+	}
+}
+
+// TestTraceDumpReplayRoundTrip drives a workload through the run
+// dispatcher against live TCP servers, exports the group's merged
+// trace with `trace dump`, checks the artifact, and re-executes it
+// with `trace replay`.
+func TestTraceDumpReplayRoundTrip(t *testing.T) {
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv, err := gospaces.Serve("127.0.0.1:0", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, srv.Addr())
+	}
+	servers := strings.Join(addrs, ",")
+	const domain, elem, bits = "8x8x2", 4, 1
+	do := func(args ...string) error {
+		return run(servers, domain, elem, bits, "dsctl/0", gospaces.DefaultDialOptions(), args)
+	}
+
+	for _, cmd := range [][]string{
+		{"put", "rho", "1"},
+		{"put", "rho", "2"},
+		{"get", "rho", "2"},
+		{"check"},
+	} {
+		if err := do(cmd...); err != nil {
+			t.Fatalf("%v: %v", cmd, err)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "dump.trace")
+	if err := do("trace", "dump", path); err != nil {
+		t.Fatalf("trace dump: %v", err)
+	}
+	h, events, err := gospaces.ReadTraceFile(path)
+	if err != nil {
+		t.Fatalf("dumped trace unreadable: %v", err)
+	}
+	if h.Label != "dsctl dump" || h.Servers != 2 || h.ElemSize != elem || h.DimX != 8 || h.DimZ != 2 {
+		t.Fatalf("dump header: %+v", h)
+	}
+	puts, gets := 0, 0
+	for i, ev := range events {
+		if ev.LC != uint64(i) {
+			t.Fatalf("event %d carries lc=%d", i, ev.LC)
+		}
+		switch ev.Kind {
+		case gospaces.TraceEvPut:
+			if ev.Name != "rho" || !ev.Logged {
+				t.Fatalf("unexpected put event: %+v", ev)
+			}
+			puts++
+		case gospaces.TraceEvGet:
+			gets++
+		}
+	}
+	// Both puts shard across both servers; the dump must collapse each
+	// to one event, not one per touched server.
+	if puts != 2 || gets == 0 {
+		t.Fatalf("dump has %d puts, %d gets: %v", puts, gets, events)
+	}
+
+	if err := do("trace", "replay", path); err != nil {
+		t.Fatalf("trace replay: %v", err)
+	}
+
+	if err := do("trace", "replay", filepath.Join(t.TempDir(), "missing.trace")); err == nil {
+		t.Fatal("replay of missing file accepted")
 	}
 }
 

@@ -30,12 +30,19 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, overload, tier, all")
+	exp := flag.String("exp", "all", "experiment to run: table1, table2, table3, fig9a, fig9b, fig9c, fig9d, fig9e, fig10, sweep, motivation, failstop, logrepl, nemesis, transport, overload, tier, soak, all")
 	seeds := flag.Int("seeds", 5, "number of failure-schedule seeds for the simulated experiments")
 	steps := flag.Int64("steps", 20, "coupling cycles for the live staging measurements")
 	reps := flag.Int("reps", 5, "repetitions (median) for the live staging measurements")
 	out := flag.String("out", "", "output file for the transport/tier experiment's JSON measurements (default BENCH_<exp>.json)")
 	outOverload := flag.String("out-overload", "BENCH_overload.json", "output file for the overload experiment's JSON measurements")
+	soakGroups := flag.Int("soak-groups", 2, "producer/consumer pairs per churn soak")
+	soakSteps := flag.Int("soak-steps", 5, "logged versions per producer in a churn soak")
+	soakFaults := flag.Int("soak-faults", 6, "injected faults per churn soak (0 = clean)")
+	soakTier := flag.Bool("soak-tier", true, "give soak servers a cold tier and storage faults")
+	soakOverload := flag.Bool("soak-overload", true, "enable admission control and flood bursts in soaks")
+	traceDir := flag.String("trace-dir", ".", "directory for failing soak runs' persisted traces")
+	replay := flag.String("replay", "", "replay one persisted soak trace file instead of recording")
 	flag.Parse()
 
 	expt.Reps = *reps
@@ -102,6 +109,17 @@ func main() {
 			return overloadExp(*outOverload)
 		case "tier":
 			return tierExp(orDefault(*out, "BENCH_tier.json"))
+		case "soak":
+			return soakExp(soakParams{
+				seeds:    seedList,
+				groups:   *soakGroups,
+				steps:    *soakSteps,
+				faults:   *soakFaults,
+				tier:     *soakTier,
+				overload: *soakOverload,
+				traceDir: *traceDir,
+				replay:   *replay,
+			})
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

@@ -45,6 +45,7 @@ import (
 	"gospaces/internal/staging"
 	"gospaces/internal/synth"
 	"gospaces/internal/tier"
+	"gospaces/internal/trace"
 	"gospaces/internal/transport"
 	"gospaces/internal/workflow"
 )
@@ -332,6 +333,78 @@ type ServerFailAt = workflow.ServerFailAt
 // demonstrates crash consistency end to end.
 func RunWorkflow(opts WorkflowOptions) (WorkflowResult, error) {
 	return workflow.Run(opts)
+}
+
+// ---------------------------------------------------------------------
+// Recorded traces and churn soaks.
+
+// TraceHeader describes one recorded workload trace: the environment
+// it ran against (servers, spares, domain, budgets) and the digest its
+// replay must reproduce.
+type TraceHeader = trace.Header
+
+// TraceEvent is one recorded workload-facing operation or injected
+// fault, positioned on the trace's logical clock.
+type TraceEvent = trace.Event
+
+// Trace event kinds a client-driven replay acts on (fault kinds and
+// EvNote records are observability-only outside the soak harness).
+const (
+	TraceEvPut        = trace.EvPut
+	TraceEvGet        = trace.EvGet
+	TraceEvCheckpoint = trace.EvCheckpoint
+	TraceEvRestart    = trace.EvRestart
+	TraceEvLock       = trace.EvLock
+	TraceEvUnlock     = trace.EvUnlock
+	TraceEvRLock      = trace.EvRLock
+	TraceEvRUnlock    = trace.EvRUnlock
+	TraceEvNote       = trace.EvNote
+)
+
+// TraceRecord is one entry of a staging server's in-memory
+// observability ring (Client.TraceRecords).
+type TraceRecord = trace.Record
+
+// TraceEventFromRecord converts a ring-buffer record into a replayable
+// trace event, for exporting a live group's recent activity as a trace
+// file (dsctl trace dump).
+func TraceEventFromRecord(r TraceRecord) TraceEvent {
+	return trace.FromRecord(r)
+}
+
+// WriteTraceFile atomically persists a recorded trace in the durable
+// CRC-framed format (see DESIGN.md §10).
+func WriteTraceFile(path string, h TraceHeader, events []TraceEvent) error {
+	return trace.WriteFile(path, h, events)
+}
+
+// ReadTraceFile loads and verifies a recorded trace; torn, bit-rotted,
+// reordered, or future-versioned files fail with typed errors.
+func ReadTraceFile(path string) (TraceHeader, []TraceEvent, error) {
+	return trace.ReadFile(path)
+}
+
+// SoakOptions configures one seeded churn soak (RunSoak).
+type SoakOptions = workflow.SoakOptions
+
+// SoakResult reports one executed soak trace.
+type SoakResult = workflow.SoakResult
+
+// RunSoak builds the deterministic trace for one seeded churn soak —
+// a recorded multi-group workload interleaved with fail-stops,
+// blackouts, tier faults, and tenant floods — and executes it against
+// a live staging group. The returned trace replays the run exactly:
+// persist it with WriteTraceFile when the run fails and the failure
+// reproduces under ReplaySoakTrace.
+func RunSoak(o SoakOptions) (TraceHeader, []TraceEvent, SoakResult, error) {
+	return workflow.RunSoak(o)
+}
+
+// ReplaySoakTrace re-executes a recorded soak trace against a freshly
+// built staging group and verifies every checked get byte-exactly
+// against the recorded digests.
+func ReplaySoakTrace(h TraceHeader, events []TraceEvent) (SoakResult, error) {
+	return workflow.ReplayTrace(h, events)
 }
 
 // ---------------------------------------------------------------------

@@ -116,6 +116,13 @@ type Injection struct {
 	// lands at; negative means "let the store pick" (halfway through the
 	// record). Only the PFS* kinds use it.
 	Offset int
+	// AtOp positions the injection on a logical-operation clock instead
+	// of wall time: the fault fires before the AtOp-th workload
+	// operation. Churn schedules (consumed by the trace-recorded soak,
+	// internal/workflow.RunSoak) use it so a recorded fault lands at the
+	// same point of the schedule on every replay regardless of machine
+	// speed; wall-clock At is unused in such schedules.
+	AtOp int
 }
 
 // Schedule is a time-ordered list of injections.
@@ -335,6 +342,57 @@ func NemesisTier(seed int64, n int, horizon, meanFault time.Duration, nServers i
 		sched = append(sched, inj)
 	}
 	sort.Slice(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+// Churn draws the trace-recorded soak schedule: n faults positioned on
+// a logical-operation clock in [0, horizonOps) rather than wall time,
+// so the schedule composes deterministically with a recorded workload
+// — replaying the trace re-arms each fault at the identical schedule
+// position. Kinds are drawn uniformly from the given set (default:
+// fail-stops plus blackouts). Fault targets are drawn from servers
+// 1..nServers-1, never slot 0: the lock server's RPC dedup keys on a
+// per-client sequence that a client-level retry cannot reuse, so
+// faulting slot 0 would make retried lock acquires ambiguous and the
+// replay nondeterministic. Blackouts and slow-I/O windows get Duration
+// in [meanFault/2, 3*meanFault/2); fail-stops are permanent.
+// Deterministic for a given seed.
+func Churn(seed int64, n, horizonOps, nServers int, meanFault time.Duration, kinds ...Kind) (Schedule, error) {
+	if horizonOps <= 0 {
+		return nil, fmt.Errorf("failure: non-positive op horizon %d", horizonOps)
+	}
+	if nServers < 2 {
+		return nil, fmt.Errorf("failure: churn needs at least 2 servers, got %d (slot 0 is never faulted)", nServers)
+	}
+	if meanFault <= 0 {
+		return nil, fmt.Errorf("failure: non-positive mean fault duration %v", meanFault)
+	}
+	if len(kinds) == 0 {
+		kinds = []Kind{ServerFailStop, ServerCrash}
+	}
+	for _, k := range kinds {
+		switch k {
+		case RankFailStop, SupervisorKill:
+			return nil, fmt.Errorf("failure: %v has no logical-clock semantics in a churn schedule", k)
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	sched := make(Schedule, 0, n)
+	for i := 0; i < n; i++ {
+		inj := Injection{
+			Kind:   kinds[rng.Intn(len(kinds))],
+			AtOp:   rng.Intn(horizonOps),
+			Server: 1 + rng.Intn(nServers-1),
+		}
+		switch inj.Kind {
+		case ServerCrash, NetDelay, NetDrop, PFSSlowIO, TenantOverload:
+			inj.Duration = meanFault/2 + time.Duration(rng.Int63n(int64(meanFault)))
+		case PFSTornWrite, PFSPartialWrite, PFSBitRot:
+			inj.Offset = rng.Intn(256) - 1
+		}
+		sched = append(sched, inj)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].AtOp < sched[j].AtOp })
 	return sched, nil
 }
 

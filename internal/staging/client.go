@@ -10,6 +10,7 @@ import (
 	"gospaces/internal/domain"
 	"gospaces/internal/qos"
 	"gospaces/internal/tier"
+	"gospaces/internal/trace"
 	"gospaces/internal/transport"
 )
 
@@ -603,6 +604,25 @@ func (c *Client) Trace(limit int) ([]string, error) {
 		for _, rec := range resp.Records {
 			out = append(out, fmt.Sprintf("s%d %s", sid, rec))
 		}
+	}
+	return out, nil
+}
+
+// TraceRecords fetches the recent protocol trace of every server as
+// typed records, for export into a durable trace file (dsctl trace
+// dump). The outer slice is indexed by server id.
+func (c *Client) TraceRecords(limit int) ([][]trace.Record, error) {
+	out := make([][]trace.Record, len(c.conns))
+	for sid, conn := range c.conns {
+		raw, err := conn.Call(TraceReq{Limit: limit, Raw: true})
+		if err != nil {
+			return nil, wrapCall(err, "trace on server %d", sid)
+		}
+		resp, err := respAs[TraceResp](raw, "trace")
+		if err != nil {
+			return nil, err
+		}
+		out[sid] = resp.Raw
 	}
 	return out, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"gospaces/internal/domain"
 	"gospaces/internal/locks"
+	"gospaces/internal/trace"
 	"gospaces/internal/wlog"
 )
 
@@ -423,11 +424,19 @@ type LeaderInfoResp struct {
 type TraceReq struct {
 	// Limit caps the records returned (0 = all retained).
 	Limit int
+	// Raw asks for typed records (for trace export) instead of rendered
+	// strings.
+	Raw bool
 }
 
-// TraceResp carries rendered trace records, oldest first.
+// TraceResp carries the server's recent protocol trace, oldest first:
+// rendered strings by default, typed records when the request set Raw.
 type TraceResp struct {
 	Records []string
+	Raw     []trace.Record
+	// Total is how many records the server ever traced (including those
+	// evicted from the ring).
+	Total uint64
 }
 
 // StatsReq asks a server for its resource accounting.

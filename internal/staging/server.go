@@ -603,15 +603,20 @@ func (s *Server) applyRecovery(r RecoveryReq) (RecoveryResp, int64) {
 }
 
 func (s *Server) handleTrace(r TraceReq) (any, error) {
-	snap := s.trace.Snapshot()
+	snap, total := s.trace.Dump()
 	if r.Limit > 0 && len(snap) > r.Limit {
 		snap = snap[len(snap)-r.Limit:]
+	}
+	if r.Raw {
+		// Typed records for trace export (dsctl trace dump): the caller
+		// converts them to replayable trace events.
+		return TraceResp{Raw: snap, Total: total}, nil
 	}
 	out := make([]string, len(snap))
 	for i, rec := range snap {
 		out[i] = rec.String()
 	}
-	return TraceResp{Records: out}, nil
+	return TraceResp{Records: out, Total: total}, nil
 }
 
 func (s *Server) handleLock(r LockReq) (any, error) {
@@ -653,6 +658,19 @@ func (s *Server) handleLock(r LockReq) (any, error) {
 // outcome without re-emitting.
 func (s *Server) runLock(r LockReq, kind locks.Kind) (any, error) {
 	resp, err := s.applyLock(r, kind)
+	detail := "acquire"
+	if r.Release {
+		detail = "release"
+	}
+	if r.Write {
+		detail += " write"
+	} else {
+		detail += " read"
+	}
+	if err != nil {
+		detail += " err"
+	}
+	s.trace.Add(trace.Record{Op: trace.OpLock, App: r.Holder, Name: r.Name, Detail: detail})
 	if s.repl != nil {
 		rec := &LockRecord{
 			Name: r.Name, Holder: r.Holder, Write: r.Write,

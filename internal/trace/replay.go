@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Executor applies one trace event to a live system. internal/workflow
+// provides the concrete executor that drives a staging group; keeping
+// the interface here lets the replay engine live with the format
+// (trace cannot import workflow — staging imports trace).
+type Executor interface {
+	Apply(ev Event) error
+}
+
+// DivergenceError reports a replay that stopped reproducing the
+// recorded run: the event at logical clock LC produced a different
+// outcome than the recording (wrong bytes on a get, a wlog replay
+// divergence, an operation that cannot complete).
+type DivergenceError struct {
+	LC  uint64
+	Ev  Event
+	Err error
+}
+
+func (e *DivergenceError) Error() string {
+	return fmt.Sprintf("trace: replay diverged at lc=%d (%s): %v", e.LC, e.Ev, e.Err)
+}
+
+func (e *DivergenceError) Unwrap() error { return e.Err }
+
+// Replayer drives an Executor through a recorded trace in logical
+// clock order. The clock is the trace itself — the replayer never
+// consults wall time, so outcomes cannot depend on machine speed.
+type Replayer struct {
+	header Header
+	events []Event
+	pos    int
+}
+
+// NewReplayer wraps a decoded trace.
+func NewReplayer(h Header, events []Event) *Replayer {
+	return &Replayer{header: h, events: events}
+}
+
+// Header returns the trace header.
+func (r *Replayer) Header() Header { return r.header }
+
+// Pos reports how many events have been applied.
+func (r *Replayer) Pos() int { return r.pos }
+
+// Run applies every remaining event in order. Note events are skipped
+// (they carry no replay semantics). Any executor error is wrapped in a
+// DivergenceError naming the logical clock it happened at, so a
+// failing replay pinpoints the exact step of the recorded schedule.
+func (r *Replayer) Run(x Executor) error {
+	var last uint64
+	for ; r.pos < len(r.events); r.pos++ {
+		ev := r.events[r.pos]
+		if r.pos > 0 && ev.LC <= last {
+			return fmt.Errorf("%w: lc=%d after lc=%d", ErrOrder, ev.LC, last)
+		}
+		last = ev.LC
+		if ev.Kind == EvNote {
+			continue
+		}
+		if err := x.Apply(ev); err != nil {
+			if _, ok := err.(*DivergenceError); ok {
+				return err
+			}
+			return &DivergenceError{LC: ev.LC, Ev: ev, Err: err}
+		}
+	}
+	return nil
+}
+
+// Recorder accumulates the events of a run being recorded, stamping
+// each with the next logical clock value. It is safe for concurrent
+// use, though recorded schedules are normally produced serially —
+// logical time only means something when the order is deterministic.
+type Recorder struct {
+	mu     sync.Mutex
+	header Header
+	events []Event
+}
+
+// NewRecorder starts a recording with the given header.
+func NewRecorder(h Header) *Recorder {
+	h.Version = FormatVersion
+	return &Recorder{header: h}
+}
+
+// Record stamps ev with the next logical clock and retains it,
+// returning the stamped event.
+func (r *Recorder) Record(ev Event) Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ev.LC = uint64(len(r.events))
+	r.events = append(r.events, ev)
+	return ev
+}
+
+// Len reports how many events have been recorded.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.events)
+}
+
+// SetDigest stores the recorded run's final workload digest in the
+// header, making the trace self-checking on replay.
+func (r *Recorder) SetDigest(d uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.header.Digest = d
+}
+
+// Header returns the header as it will be written.
+func (r *Recorder) Header() Header {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.header
+}
+
+// Events returns a copy of the recorded events.
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Event(nil), r.events...)
+}
+
+// Encode serializes the recording as a trace file image.
+func (r *Recorder) Encode() []byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Encode(r.header, r.events)
+}

@@ -117,7 +117,9 @@ func (b *Buffer) Add(r Record) {
 		b.ring = append(b.ring, r)
 		return
 	}
-	b.ring[int(r.Seq)%b.cap] = r
+	// Index in uint64: int(r.Seq) goes negative once the total count
+	// passes MaxInt64, and a negative index panics the server.
+	b.ring[r.Seq%uint64(b.cap)] = r
 }
 
 // Len reports how many records are retained.
@@ -142,19 +144,33 @@ func (b *Buffer) Total() uint64 {
 
 // Snapshot returns the retained records in chronological order.
 func (b *Buffer) Snapshot() []Record {
+	rs, _ := b.Dump()
+	return rs
+}
+
+// Dump returns the retained records in chronological order plus the
+// total ever added, captured atomically under one lock acquisition —
+// the read-under-wrap-safe snapshot API. Concurrent Adds never tear a
+// dump: the copy and the wrap arithmetic both happen inside the same
+// critical section, and the uint64 modulo never goes negative however
+// large the total grows.
+func (b *Buffer) Dump() ([]Record, uint64) {
 	if b == nil {
-		return nil
+		return nil, 0
 	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if len(b.ring) == 0 {
+		return nil, b.next
+	}
 	out := make([]Record, 0, len(b.ring))
 	if len(b.ring) < b.cap {
-		return append(out, b.ring...)
+		return append(out, b.ring...), b.next
 	}
-	start := int(b.next) % b.cap
+	start := int(b.next % uint64(b.cap))
 	out = append(out, b.ring[start:]...)
 	out = append(out, b.ring[:start]...)
-	return out
+	return out, b.next
 }
 
 // Filter returns the retained records matching op (chronological).

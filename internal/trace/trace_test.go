@@ -104,6 +104,74 @@ func TestOpStrings(t *testing.T) {
 	}
 }
 
+func TestDump(t *testing.T) {
+	b := New(4)
+	if rs, total := b.Dump(); rs != nil || total != 0 {
+		t.Fatalf("empty dump: %v %d", rs, total)
+	}
+	for i := int64(1); i <= 10; i++ {
+		b.Add(Record{Op: OpPut, Version: i})
+	}
+	rs, total := b.Dump()
+	if total != 10 || len(rs) != 4 {
+		t.Fatalf("dump: %d records, total %d", len(rs), total)
+	}
+	for i, want := range []int64{7, 8, 9, 10} {
+		if rs[i].Version != want {
+			t.Fatalf("dump order: %v", rs)
+		}
+	}
+}
+
+// TestConcurrentAppendDump hammers Add against Dump under -race: the
+// dump must always be internally consistent (strictly increasing
+// sequence numbers, total >= highest seq seen) however the appends
+// interleave, because the copy happens under one lock acquisition.
+func TestConcurrentAppendDump(t *testing.T) {
+	b := New(64)
+	done := make(chan struct{})
+	var appenders, dumpers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		appenders.Add(1)
+		go func(g int) {
+			defer appenders.Done()
+			for i := 0; i < 2000; i++ {
+				b.Add(Record{Op: OpPut, Version: int64(g*2000 + i)})
+			}
+		}(g)
+	}
+	for d := 0; d < 2; d++ {
+		dumpers.Add(1)
+		go func() {
+			defer dumpers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				rs, total := b.Dump()
+				for i := 1; i < len(rs); i++ {
+					if rs[i].Seq <= rs[i-1].Seq {
+						t.Errorf("dump tore: seq %d after %d", rs[i].Seq, rs[i-1].Seq)
+						return
+					}
+				}
+				if len(rs) > 0 && rs[len(rs)-1].Seq >= total {
+					t.Errorf("dump total %d behind seq %d", total, rs[len(rs)-1].Seq)
+					return
+				}
+			}
+		}()
+	}
+	appenders.Wait()
+	close(done)
+	dumpers.Wait()
+	if b.Total() != 8000 {
+		t.Fatalf("total %d", b.Total())
+	}
+}
+
 func TestConcurrentAdd(t *testing.T) {
 	b := New(128)
 	var wg sync.WaitGroup
